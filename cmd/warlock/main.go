@@ -1,0 +1,154 @@
+// Command warlock is the WARLOCK data allocation advisor CLI: the textual
+// equivalent of the paper's GUI tool. It reads a JSON configuration (or
+// uses the built-in APB-1 preset), runs the advisor pipeline, and prints
+// the ranked fragmentation candidates, the winner's query performance
+// analysis and its physical allocation scheme.
+//
+// Usage:
+//
+//	warlock -emit-example > apb1.json     # write an editable config
+//	warlock -config apb1.json             # advise for a config file
+//	warlock -apb1 -rows 24000000 -disks 64
+//	warlock -apb1 -candidates-csv out.csv # export the ranked list
+//	warlock -apb1 -simulate 200           # validate the winner by simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "warlock:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("warlock", flag.ContinueOnError)
+	var (
+		configPath    = fs.String("config", "", "JSON configuration file (see -emit-example)")
+		apb1          = fs.Bool("apb1", false, "use the built-in APB-1 preset instead of -config")
+		rows          = fs.Int64("rows", 24_000_000, "fact table rows for the APB-1 preset")
+		disks         = fs.Int("disks", 64, "number of disks for the APB-1 preset")
+		emitExample   = fs.Bool("emit-example", false, "print an example APB-1 JSON config and exit")
+		topN          = fs.Int("top", 10, "number of ranked candidates to show")
+		leadingPct    = fs.Float64("leading", 10, "leading %% of candidates re-ranked by response time")
+		candidatesCSV = fs.String("candidates-csv", "", "write the ranked candidate list to this CSV file")
+		statsCSV      = fs.String("stats-csv", "", "write the winner's per-class statistics to this CSV file")
+		profileClass  = fs.Int("profile", -1, "print the disk access profile of the query class with this index")
+		simulate      = fs.Int("simulate", 0, "validate the winner with N simulated queries")
+		simRate       = fs.Float64("sim-rate", 0, "multi-user arrival rate (queries/s); 0 = single-user")
+		seed          = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *emitExample {
+		return config.FromAPB1(*rows, *disks).Encode(os.Stdout)
+	}
+
+	var in *core.Input
+	switch {
+	case *configPath != "":
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		doc, err := config.Parse(f)
+		if err != nil {
+			return err
+		}
+		in, err = doc.Build()
+		if err != nil {
+			return err
+		}
+	case *apb1:
+		doc := config.FromAPB1(*rows, *disks)
+		var err error
+		in, err = doc.Build()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -config or -apb1 is required (try -emit-example)")
+	}
+
+	in.Rank.TopN = *topN
+	in.Rank.LeadingPercent = *leadingPct
+
+	res, err := core.Advise(in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.Report(res))
+
+	if *profileClass >= 0 {
+		prof, err := analysis.DiskAccessProfile(in.Schema, res.Best(), *profileClass)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(prof)
+	}
+
+	if *candidatesCSV != "" {
+		if err := writeFile(*candidatesCSV, func(f *os.File) error {
+			return analysis.WriteCandidatesCSV(f, in.Schema, res.Ranked)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("\nranked candidates written to %s\n", *candidatesCSV)
+	}
+	if *statsCSV != "" {
+		if err := writeFile(*statsCSV, func(f *os.File) error {
+			return analysis.WriteQueryStatsCSV(f, in.Schema, res.Best())
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("winner statistics written to %s\n", *statsCSV)
+	}
+
+	if *simulate > 0 {
+		best := res.Best()
+		cfg := res.CostModelConfig()
+		fmt.Printf("\n== simulation of top candidate (%d queries) ==\n", *simulate)
+		if *simRate > 0 {
+			m, err := sim.MultiUser(cfg, best, *simulate, *simRate, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("multi-user @ %.1f q/s: mean %v  p95 %v  max %v  makespan %v\n",
+				*simRate, m.MeanResponse, m.P95Response, m.MaxResponse, m.Makespan)
+		} else {
+			m, _, err := sim.SingleUser(cfg, best, *simulate, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("single-user: mean %v  p95 %v  max %v (analytical %v)\n",
+				m.MeanResponse, m.P95Response, m.MaxResponse, best.ResponseTime)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run(args) with stdout redirected and returns the output.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	return string(<-done), runErr
+}
+
+func TestRunRequiresConfigOrPreset(t *testing.T) {
+	if _, err := capture(t); err == nil {
+		t.Fatal("no args should fail")
+	}
+}
+
+func TestRunEmitExample(t *testing.T) {
+	out, err := capture(t, "-emit-example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema"`, `"APB-1"`, `"queries"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in example config", want)
+		}
+	}
+}
+
+func TestRunAPB1Preset(t *testing.T) {
+	out, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WARLOCK allocation advice", "ranked fragmentation candidates", "physical allocation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	example, err := capture(t, "-emit-example", "-rows", "500000", "-disks", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, []byte(example), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "-config", cfgPath, "-top", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "WARLOCK allocation advice") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestRunConfigFileMissing(t *testing.T) {
+	if _, err := capture(t, "-config", "/nonexistent/cfg.json"); err == nil {
+		t.Fatal("missing config should fail")
+	}
+}
+
+func TestRunConfigFileInvalid(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(cfgPath, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, "-config", cfgPath); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestRunCSVExports(t *testing.T) {
+	dir := t.TempDir()
+	cand := filepath.Join(dir, "cand.csv")
+	stats := filepath.Join(dir, "stats.csv")
+	_, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8",
+		"-candidates-csv", cand, "-stats-csv", stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cb), "rank,") {
+		t.Fatalf("candidates CSV header: %q", string(cb[:20]))
+	}
+	sb, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(sb), "class,") {
+		t.Fatalf("stats CSV header: %q", string(sb[:20]))
+	}
+}
+
+func TestRunProfileAndSimulate(t *testing.T) {
+	out, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8",
+		"-profile", "0", "-simulate", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "disk access profile") {
+		t.Fatal("profile missing")
+	}
+	if !strings.Contains(out, "single-user: mean") {
+		t.Fatal("simulation summary missing")
+	}
+}
+
+func TestRunMultiUserSimulate(t *testing.T) {
+	out, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8",
+		"-simulate", "20", "-sim-rate", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "multi-user @") {
+		t.Fatal("multi-user summary missing")
+	}
+}
+
+func TestRunBadProfileIndex(t *testing.T) {
+	if _, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8", "-profile", "99"); err == nil {
+		t.Fatal("bad profile index should fail")
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is the root of the WARLOCK reproduction (Stöhr/Rahm,
+// VLDB 2001: "WARLOCK: A Data Allocation Tool for Parallel Warehouses").
+//
+// The public API lives in repro/warlock; the advisor pipeline and its
+// substrates live under internal/ (schema, skew, disk, workload, fragment,
+// bitmap, costmodel, alloc, rank, sim, analysis, core, apb, config).
+// bench_test.go in this directory hosts one benchmark per experiment in
+// EXPERIMENTS.md; cmd/warlock-bench regenerates the experiment tables.
+package repro

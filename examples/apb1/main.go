@@ -1,0 +1,75 @@
+// APB-1 demo session: reproduces the paper's demonstration flow (§4) —
+// advise for an APB-1-based configuration, inspect the detailed query
+// performance statistic and the calculated allocation scheme, export CSVs,
+// and validate the winner against the discrete-event disk simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/warlock"
+)
+
+func main() {
+	schema := warlock.APB1Schema(4_000_000)
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := &warlock.Input{
+		Schema: schema,
+		Mix:    mix,
+		Disk:   warlock.DefaultDisk(64),
+		Rank:   warlock.RankOptions{LeadingPercent: 10, TopN: 10},
+	}
+	res, err := warlock.Advise(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== ranked fragmentation candidates ==")
+	fmt.Print(warlock.CandidateTable(schema, res.Ranked))
+
+	best := res.Best()
+	fmt.Println("\n== database statistic ==")
+	fmt.Print(warlock.DatabaseStatistic(schema, best))
+	fmt.Println("\n== query performance statistic ==")
+	fmt.Print(warlock.QueryStatistic(schema, best))
+	fmt.Println("\n== physical allocation ==")
+	fmt.Print(warlock.AllocationReport(schema, best, 8))
+
+	// Disk access profile of the heaviest query class (paper Fig. 2).
+	fmt.Println()
+	prof, err := warlock.DiskAccessProfile(schema, best, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(prof)
+
+	// Export the panels as CSV for spreadsheet analysis.
+	if f, err := os.Create("apb1_candidates.csv"); err == nil {
+		if err := warlock.WriteCandidatesCSV(f, schema, res.Ranked); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("\nwrote apb1_candidates.csv")
+	}
+
+	// Validate the analytical prediction against the simulator.
+	m, _, err := warlock.SimulateSingleUser(res, best, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulation (200 queries): mean %v p95 %v (analytical %v)\n",
+		m.MeanResponse, m.P95Response, best.ResponseTime)
+
+	// Multi-user behaviour: response under a loaded open system.
+	loaded, err := warlock.SimulateMultiUser(res, best, 200, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-user @ 4 q/s: mean %v p95 %v makespan %v\n",
+		loaded.MeanResponse, loaded.P95Response, loaded.Makespan)
+}

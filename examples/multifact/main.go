@@ -1,0 +1,73 @@
+// Multi-fact-table warehouse: a Sales star and an Inventory star share the
+// same disk pool. WARLOCK advises each fact table independently, then
+// co-allocates the winning fragmentations so combined disk occupancy stays
+// balanced (paper §2: star schemas with "one or more fact tables").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/warlock"
+)
+
+func main() {
+	disks := warlock.DefaultDisk(32)
+
+	// Fact table 1: Sales (the APB-1 preset).
+	sales := warlock.APB1Schema(2_000_000)
+	salesMix, err := warlock.APB1Mix(sales)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fact table 2: Inventory snapshots over a warehouse dimension.
+	inventory := &warlock.Star{
+		Name: "Inventory",
+		Fact: warlock.FactTable{Name: "Stock", Rows: 800_000, RowSize: 60},
+		Dimensions: []warlock.Dimension{
+			{Name: "Product", Levels: []warlock.Level{
+				{Name: "family", Cardinality: 75},
+				{Name: "code", Cardinality: 9000},
+			}},
+			{Name: "Warehouse", Levels: []warlock.Level{
+				{Name: "region", Cardinality: 12},
+				{Name: "site", Cardinality: 120},
+			}},
+			{Name: "Time", Levels: []warlock.Level{
+				{Name: "month", Cardinality: 24},
+			}},
+		},
+	}
+	invMix := &warlock.Mix{Classes: []warlock.QueryClass{
+		mk(inventory, "stock-by-family-month", 3, "Product.family", "Time.month"),
+		mk(inventory, "site-stock", 2, "Warehouse.site"),
+		mk(inventory, "regional-overview", 1, "Warehouse.region", "Time.month"),
+	}}
+
+	mr, err := warlock.AdviseMulti(&warlock.MultiInput{Inputs: []*warlock.Input{
+		{Schema: sales, Mix: salesMix, Disk: disks},
+		{Schema: inventory, Mix: invMix, Disk: disks},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(warlock.MultiReport(mr))
+
+	d0, _ := mr.FragmentDisk(0, 0)
+	d1, _ := mr.FragmentDisk(1, 0)
+	fmt.Printf("\nfirst Sales fragment on disk %d; first Stock fragment on disk %d\n", d0, d1)
+}
+
+func mk(s *warlock.Star, name string, weight float64, paths ...string) warlock.QueryClass {
+	c := warlock.QueryClass{Name: name, Weight: weight}
+	for _, p := range paths {
+		a, err := s.Attr(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Predicates = append(c.Predicates, a)
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+// Quickstart: run the WARLOCK advisor on the built-in APB-1 configuration
+// and print the full report — ranked fragmentation candidates, the
+// winner's query performance analysis and its physical allocation scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/warlock"
+)
+
+func main() {
+	// Input layer: star schema, disk parameters, weighted query mix.
+	schema := warlock.APB1Schema(4_000_000) // 4M fact rows ≈ 400 MB
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk := warlock.DefaultDisk(32)
+
+	// Prediction layer: enumerate MDHF candidates, exclude by thresholds,
+	// evaluate with the I/O cost model, rank with the twofold heuristic.
+	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: disk})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analysis layer: the textual equivalent of the tool's GUI panels.
+	fmt.Print(warlock.Report(res))
+
+	best := res.Best()
+	fmt.Printf("\nrecommended fragmentation: %s (%d fragments)\n",
+		best.Frag.Name(schema), best.Geometry.NumFragments())
+	fmt.Printf("predicted I/O cost %v, response time %v per weighted query\n",
+		best.AccessCost, best.ResponseTime)
+}

@@ -1,0 +1,84 @@
+// Interactive fine tuning, scripted: the paper's §3.3 workflow — adapt
+// disk parameters, query load specifics and bitmap configurations and let
+// WARLOCK compare the performance variations they imply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/warlock"
+)
+
+func main() {
+	schema := warlock.APB1Schema(4_000_000)
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := &warlock.Input{Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(32)}
+	baseRes, err := warlock.Advise(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := baseRes.Best()
+	fmt.Printf("baseline: %s  I/O cost %v  response %v\n\n",
+		best.Frag.Name(schema), best.AccessCost, best.ResponseTime)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "WHAT-IF\tWINNER\tI/O COST\tRESPONSE")
+
+	// 1. Disk upgrades: more spindles.
+	for _, disks := range []int{64, 128} {
+		in := *base
+		in.Disk = warlock.DefaultDisk(disks)
+		row(w, fmt.Sprintf("disks -> %d", disks), schema, mustAdvise(&in))
+	}
+
+	// 2. Larger prefetch granule (fixed instead of advisor-chosen).
+	in := *base
+	in.Disk.PrefetchPages = 64
+	row(w, "prefetch -> 64 pages", schema, mustAdvise(&in))
+
+	// 3. Workload shift: store-level reporting becomes dominant.
+	boosted, err := mix.Scale("Q3-store-month", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in = *base
+	in.Mix = boosted
+	row(w, "Q3-store-month x10", schema, mustAdvise(&in))
+
+	// 4. Space pressure: DBA excludes the biggest bitmap index (paper
+	// §3.3: "the user may decide to exclude some of the suggested bitmap
+	// indices to limit space requirements").
+	code, err := schema.Attr("Product.code")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in = *base
+	in.Bitmap = warlock.BitmapOptions{Exclude: []warlock.AttrRef{code}}
+	row(w, "exclude bitmap Product.code", schema, mustAdvise(&in))
+
+	// 5. Tighter ranking: response time over throughput (X = 100%).
+	in = *base
+	in.Rank = warlock.RankOptions{LeadingPercent: 100}
+	row(w, "re-rank all by response", schema, mustAdvise(&in))
+
+	w.Flush()
+}
+
+func mustAdvise(in *warlock.Input) *warlock.Result {
+	res, err := warlock.Advise(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func row(w *tabwriter.Writer, label string, s *warlock.Star, res *warlock.Result) {
+	best := res.Best()
+	fmt.Fprintf(w, "%s\t%s\t%v\t%v\n", label, best.Frag.Name(s), best.AccessCost, best.ResponseTime)
+}

@@ -1,0 +1,294 @@
+// Package analysis implements WARLOCK's analysis and output layer (paper
+// §3.3 and Fig. 2): the ranked list of fragmentation candidates, the
+// detailed per-fragmentation query statistic (database statistic, I/O
+// access statistic, I/O response times, prefetch granule suggestion), and
+// the physical allocation report (per-fragment placement, disk occupancy
+// and access distribution, disk access profile per query class) — rendered
+// as text tables and CSV instead of the original GUI panels.
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/fragment"
+	"repro/internal/rank"
+	"repro/internal/schema"
+)
+
+// CandidateTable renders the ranked candidate list: the primary output of
+// the prediction layer.
+func CandidateTable(s *schema.Star, ranked []rank.Ranked) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "#\tFRAGMENTATION\tFRAGMENTS\tAVG PAGES\tI/O COST\tRESPONSE\tCOST RANK\tALLOC\tBITMAP PAGES\tCAP")
+	for i, r := range ranked {
+		ev := r.Eval
+		st := ev.Geometry.Stats()
+		capOK := "ok"
+		if !ev.CapacityOK {
+			capOK = "OVER"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%.1f\t%s\t%s\t%d\t%s\t%d\t%s\n",
+			i+1, ev.Frag.Name(s), st.Fragments, st.AvgPages,
+			fmtDur(ev.AccessCost), fmtDur(ev.ResponseTime),
+			r.CostRank, ev.Placement.Scheme, ev.BitmapPagesTotal, capOK)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// DatabaseStatistic renders the database statistic panel of Fig. 2:
+// #pages, #fragments, fragment sizes.
+func DatabaseStatistic(s *schema.Star, ev *costmodel.Evaluation) string {
+	st := ev.Geometry.Stats()
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "fragmentation\t%s\n", ev.Frag.Name(s))
+	fmt.Fprintf(w, "fact table\t%s (%d rows x %d B)\n", s.Fact.Name, s.Fact.Rows, s.Fact.RowSize)
+	fmt.Fprintf(w, "#pages (fact)\t%d\n", st.TotalPages)
+	fmt.Fprintf(w, "#fragments\t%d\n", st.Fragments)
+	fmt.Fprintf(w, "fragment pages min/avg/max\t%d / %.1f / %d\n", st.MinPages, st.AvgPages, st.MaxPages)
+	fmt.Fprintf(w, "fragment size CV\t%.3f\n", st.CV)
+	fmt.Fprintf(w, "bitmap scheme\t%s\n", schemeSummary(s, ev))
+	fmt.Fprintf(w, "#pages (bitmaps)\t%d\n", ev.BitmapPagesTotal)
+	fmt.Fprintf(w, "prefetch suggestion fact/bitmap\t%d / %d pages\n", ev.FactPrefetch, ev.BitmapPrefetch)
+	w.Flush()
+	return b.String()
+}
+
+func schemeSummary(s *schema.Star, ev *costmodel.Evaluation) string {
+	if len(ev.Scheme.Indexes) == 0 {
+		return "(none needed)"
+	}
+	parts := make([]string, len(ev.Scheme.Indexes))
+	for i, ix := range ev.Scheme.Indexes {
+		parts[i] = fmt.Sprintf("%s[%s,%d slices]", s.AttrName(ix.Attr), ix.Kind, ix.Slices)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// QueryStatistic renders the per-query-class I/O access statistic and
+// response times of Fig. 2.
+func QueryStatistic(s *schema.Star, ev *costmodel.Evaluation) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CLASS\tWEIGHT\tFRAGS HIT\tSEL ROWS\tFACT PAGES\tFACT I/Os\tBM PAGES\tBM I/Os\tI/O COST\tRESPONSE")
+	for _, cc := range ev.PerClass {
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%s\t%s\n",
+			cc.Class.Name, cc.Weight, cc.FragmentsHit, cc.SelectedRows,
+			cc.FactPages, cc.FactIOs, cc.BitmapPages, cc.BitmapIOs,
+			fmtDur(cc.AccessCost), fmtDur(cc.ResponseTime))
+	}
+	fmt.Fprintf(w, "TOTAL\t1.00\t\t\t\t\t\t\t%s\t%s\n", fmtDur(ev.AccessCost), fmtDur(ev.ResponseTime))
+	w.Flush()
+	return b.String()
+}
+
+// AllocationReport renders the physical allocation scheme: disk occupancy
+// and, for up to maxDisks disks, the per-disk fragment count and load.
+// maxDisks <= 0 prints every disk.
+func AllocationReport(s *schema.Star, ev *costmodel.Evaluation, maxDisks int) string {
+	pl := ev.Placement
+	st := pl.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocation scheme: %s over %d disks\n", pl.Scheme, pl.Disks)
+	fmt.Fprintf(&b, "disk load pages min/avg/max: %d / %.1f / %d (CV %.3f, imbalance %.3f)\n",
+		st.MinLoad, st.AvgLoad, st.MaxLoad, st.CV, st.Imbalance)
+	n := pl.Disks
+	truncated := false
+	if maxDisks > 0 && n > maxDisks {
+		n = maxDisks
+		truncated = true
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "DISK\t#FRAGMENTS\tPAGES\tSHARE")
+	counts := make([]int, pl.Disks)
+	for _, d := range pl.DiskOf {
+		counts[d]++
+	}
+	for d := 0; d < n; d++ {
+		share := 0.0
+		if st.TotalPages > 0 {
+			share = float64(pl.Load[d]) / float64(st.TotalPages)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f%%\n", d, counts[d], pl.Load[d], share*100)
+	}
+	w.Flush()
+	if truncated {
+		fmt.Fprintf(&b, "... (%d more disks)\n", pl.Disks-n)
+	}
+	return b.String()
+}
+
+// DiskAccessProfile renders the expected per-disk busy time of one query
+// class — the "disk access profile per query class" visualization, as an
+// ASCII bar chart. classIdx indexes Evaluation.PerClass.
+func DiskAccessProfile(s *schema.Star, ev *costmodel.Evaluation, classIdx int) (string, error) {
+	if classIdx < 0 || classIdx >= len(ev.PerClass) {
+		return "", fmt.Errorf("analysis: class index %d out of range (0..%d)", classIdx, len(ev.PerClass)-1)
+	}
+	cc := &ev.PerClass[classIdx]
+	var maxBusy time.Duration
+	for _, d := range cc.DiskBusy {
+		if d > maxBusy {
+			maxBusy = d
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "disk access profile: %s (expected busy time per disk)\n", cc.Class.Name)
+	const width = 40
+	for d, busyT := range cc.DiskBusy {
+		bar := 0
+		if maxBusy > 0 {
+			bar = int(float64(busyT) / float64(maxBusy) * width)
+		}
+		fmt.Fprintf(&b, "disk %3d %-*s %s\n", d, width+1, strings.Repeat("#", bar), fmtDur(busyT))
+	}
+	return b.String(), nil
+}
+
+// ExclusionReport summarizes threshold exclusions.
+func ExclusionReport(s *schema.Star, excluded []fragment.Violation) string {
+	if len(excluded) == 0 {
+		return "no candidates excluded by thresholds\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d candidates excluded by thresholds:\n", len(excluded))
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for _, v := range excluded {
+		fmt.Fprintf(w, "  %s\t%s\n", v.Frag.Name(s), v.Reason)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Report renders the full advisor output: ranked candidates, the winner's
+// database statistic, query statistic and allocation summary.
+func Report(res *core.Result) string {
+	s := res.Input.Schema
+	var b strings.Builder
+	fmt.Fprintf(&b, "WARLOCK allocation advice for %s\n", s.String())
+	fmt.Fprintf(&b, "workload: %d query classes; disks: %d; page size: %d B\n\n",
+		len(res.Input.Mix.Classes), res.Input.Disk.Disks, res.Input.Disk.PageSize)
+	b.WriteString("== ranked fragmentation candidates ==\n")
+	b.WriteString(CandidateTable(s, res.Ranked))
+	if best := res.Best(); best != nil {
+		b.WriteString("\n== database statistic (top candidate) ==\n")
+		b.WriteString(DatabaseStatistic(s, best))
+		b.WriteString("\n== query analysis (top candidate) ==\n")
+		b.WriteString(QueryStatistic(s, best))
+		b.WriteString("\n== physical allocation (top candidate) ==\n")
+		b.WriteString(AllocationReport(s, best, 16))
+	}
+	b.WriteString("\n")
+	b.WriteString(ExclusionReport(s, res.Excluded))
+	return b.String()
+}
+
+// MultiReport renders the multi-fact-table advisory: per-fact-table
+// winners plus the combined co-allocation summary.
+func MultiReport(mr *core.MultiResult) string {
+	var b strings.Builder
+	b.WriteString("WARLOCK multi-fact-table allocation advice\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FACT TABLE\tWINNER\tFRAGMENTS\tI/O COST\tRESPONSE")
+	for _, res := range mr.Results {
+		best := res.Best()
+		s := res.Input.Schema
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\n",
+			s.Fact.Name, best.Frag.Name(s), best.Geometry.NumFragments(),
+			fmtDur(best.AccessCost), fmtDur(best.ResponseTime))
+	}
+	w.Flush()
+	st := mr.Combined.Stats()
+	fmt.Fprintf(&b, "\nco-allocation: %s over %d disks, %d fragments\n",
+		mr.Combined.Scheme, mr.Combined.Disks, mr.Offsets[len(mr.Offsets)-1])
+	fmt.Fprintf(&b, "combined load min/avg/max: %d / %.1f / %d pages (CV %.3f, imbalance %.3f)\n",
+		st.MinLoad, st.AvgLoad, st.MaxLoad, st.CV, st.Imbalance)
+	if mr.CapacityOK {
+		b.WriteString("capacity: ok\n")
+	} else {
+		b.WriteString("capacity: EXCEEDED\n")
+	}
+	return b.String()
+}
+
+// WriteCandidatesCSV exports the ranked candidate list as CSV.
+func WriteCandidatesCSV(w io.Writer, s *schema.Star, ranked []rank.Ranked) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "fragmentation", "fragments", "avg_pages", "io_cost_ms", "response_ms", "cost_rank", "alloc", "bitmap_pages", "capacity_ok"}); err != nil {
+		return err
+	}
+	for i, r := range ranked {
+		ev := r.Eval
+		st := ev.Geometry.Stats()
+		rec := []string{
+			strconv.Itoa(i + 1),
+			ev.Frag.Name(s),
+			strconv.FormatInt(st.Fragments, 10),
+			fmt.Sprintf("%.2f", st.AvgPages),
+			fmt.Sprintf("%.3f", ms(ev.AccessCost)),
+			fmt.Sprintf("%.3f", ms(ev.ResponseTime)),
+			strconv.Itoa(r.CostRank),
+			ev.Placement.Scheme.String(),
+			strconv.FormatInt(ev.BitmapPagesTotal, 10),
+			strconv.FormatBool(ev.CapacityOK),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteQueryStatsCSV exports the per-class statistic of one candidate.
+func WriteQueryStatsCSV(w io.Writer, s *schema.Star, ev *costmodel.Evaluation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "weight", "fragments_hit", "selected_rows", "fact_pages", "fact_ios", "bitmap_pages", "bitmap_ios", "io_cost_ms", "response_ms"}); err != nil {
+		return err
+	}
+	for _, cc := range ev.PerClass {
+		rec := []string{
+			cc.Class.Name,
+			fmt.Sprintf("%.4f", cc.Weight),
+			fmt.Sprintf("%.2f", cc.FragmentsHit),
+			fmt.Sprintf("%.1f", cc.SelectedRows),
+			fmt.Sprintf("%.1f", cc.FactPages),
+			fmt.Sprintf("%.1f", cc.FactIOs),
+			fmt.Sprintf("%.1f", cc.BitmapPages),
+			fmt.Sprintf("%.1f", cc.BitmapIOs),
+			fmt.Sprintf("%.3f", ms(cc.AccessCost)),
+			fmt.Sprintf("%.3f", ms(cc.ResponseTime)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// fmtDur renders durations with millisecond resolution for readability.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", ms(d))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", ms(d))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

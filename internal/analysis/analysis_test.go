@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apb"
+	"repro/internal/core"
+)
+
+func advised(t *testing.T) *core.Result {
+	t.Helper()
+	s := apb.Schema(1_000_000)
+	m, err := apb.Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := apb.Disk(16)
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	res, err := core.Advise(&core.Input{Schema: s, Mix: m, Disk: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCandidateTable(t *testing.T) {
+	res := advised(t)
+	out := CandidateTable(res.Input.Schema, res.Ranked)
+	for _, want := range []string{"FRAGMENTATION", "I/O COST", "RESPONSE", res.Best().Frag.Name(res.Input.Schema)} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(res.Ranked)+1 {
+		t.Fatalf("lines = %d, want header + %d", lines, len(res.Ranked))
+	}
+}
+
+func TestDatabaseStatistic(t *testing.T) {
+	res := advised(t)
+	out := DatabaseStatistic(res.Input.Schema, res.Best())
+	for _, want := range []string{"#fragments", "fragment pages min/avg/max", "prefetch suggestion", "Sales"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryStatistic(t *testing.T) {
+	res := advised(t)
+	out := QueryStatistic(res.Input.Schema, res.Best())
+	for _, want := range []string{"CLASS", "FRAGS HIT", "TOTAL", "Q1-group-month"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One row per class + header + total.
+	if lines := strings.Count(out, "\n"); lines != len(res.Input.Mix.Classes)+2 {
+		t.Fatalf("lines = %d", lines)
+	}
+}
+
+func TestAllocationReport(t *testing.T) {
+	res := advised(t)
+	out := AllocationReport(res.Input.Schema, res.Best(), 4)
+	for _, want := range []string{"allocation scheme", "DISK", "SHARE", "more disks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	full := AllocationReport(res.Input.Schema, res.Best(), 0)
+	if strings.Contains(full, "more disks") {
+		t.Fatal("maxDisks=0 should print all disks")
+	}
+}
+
+func TestDiskAccessProfile(t *testing.T) {
+	res := advised(t)
+	out, err := DiskAccessProfile(res.Input.Schema, res.Best(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "disk access profile") || !strings.Contains(out, "#") {
+		t.Fatalf("profile:\n%s", out)
+	}
+	if _, err := DiskAccessProfile(res.Input.Schema, res.Best(), 99); err == nil {
+		t.Fatal("out-of-range class should fail")
+	}
+}
+
+func TestExclusionReport(t *testing.T) {
+	res := advised(t)
+	out := ExclusionReport(res.Input.Schema, res.Excluded)
+	if !strings.Contains(out, "excluded by thresholds") {
+		t.Fatalf("exclusions:\n%s", out)
+	}
+	empty := ExclusionReport(res.Input.Schema, nil)
+	if !strings.Contains(empty, "no candidates excluded") {
+		t.Fatalf("empty exclusions: %q", empty)
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	res := advised(t)
+	out := Report(res)
+	for _, want := range []string{
+		"WARLOCK allocation advice",
+		"ranked fragmentation candidates",
+		"database statistic",
+		"query analysis",
+		"physical allocation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteCandidatesCSV(t *testing.T) {
+	res := advised(t)
+	var buf bytes.Buffer
+	if err := WriteCandidatesCSV(&buf, res.Input.Schema, res.Ranked); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(res.Ranked)+1 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "rank" || len(recs[0]) != 10 {
+		t.Fatalf("header = %v", recs[0])
+	}
+}
+
+func TestWriteQueryStatsCSV(t *testing.T) {
+	res := advised(t)
+	var buf bytes.Buffer
+	if err := WriteQueryStatsCSV(&buf, res.Input.Schema, res.Best()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(res.Input.Mix.Classes)+1 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+}
+
+func TestMultiReport(t *testing.T) {
+	res := advised(t)
+	second := advised(t)
+	mr, err := core.AdviseMulti(&core.MultiInput{Inputs: []*core.Input{res.Input, second.Input}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MultiReport(mr)
+	for _, want := range []string{"multi-fact-table", "FACT TABLE", "co-allocation", "capacity: ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Capacity overflow renders the warning.
+	small := advised(t)
+	small.Input.Disk.CapacityBytes = 1 << 20
+	mr2, err := core.AdviseMulti(&core.MultiInput{Inputs: []*core.Input{small.Input}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(MultiReport(mr2), "capacity: EXCEEDED") {
+		t.Fatal("overflow warning missing")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"0s", "0"},
+		{"500us", "0.50ms"},
+		{"25ms", "25.0ms"},
+		{"3s", "3.00s"},
+	}
+	for _, tc := range cases {
+		d, err := parseDur(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmtDur(d); got != tc.want {
+			t.Fatalf("fmtDur(%s) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func parseDur(s string) (time.Duration, error) { return time.ParseDuration(s) }

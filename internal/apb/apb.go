@@ -1,0 +1,142 @@
+// Package apb provides APB-1-based star schema and workload presets
+// (OLAP Council APB-1 Benchmark, Release II), the configuration family the
+// WARLOCK demonstration uses ("During the demonstration we will use WARLOCK
+// for various schemas and workloads, including APB-1-based configurations",
+// paper §4; the MDHF evaluation in Stöhr/Märtens/Rahm VLDB 2000 uses the
+// same schema).
+//
+// The schema has four dimensions with the APB-1 hierarchy cardinalities:
+//
+//	Product: division(4) > line(15) > family(75) > group(250) > class(605) > code(9000)
+//	Customer: retailer(99) > store(900)
+//	Time: year(2) > quarter(8) > month(24)
+//	Channel: channel(9)
+//
+// The Sales fact table defaults to 24 million rows of 100 bytes
+// (≈ 2.4 GB), a laptop-friendly stand-in for the benchmark's channel
+// density; Scale adjusts the volume.
+package apb
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// DefaultRows is the default Sales fact table row count.
+const DefaultRows = 24_000_000
+
+// DefaultRowSize is the default fact row size in bytes.
+const DefaultRowSize = 100
+
+// Schema returns the APB-1 star schema with the given fact table volume.
+// rows <= 0 selects DefaultRows.
+func Schema(rows int64) *schema.Star {
+	if rows <= 0 {
+		rows = DefaultRows
+	}
+	return &schema.Star{
+		Name: "APB-1",
+		Fact: schema.FactTable{Name: "Sales", Rows: rows, RowSize: DefaultRowSize},
+		Dimensions: []schema.Dimension{
+			{Name: "Product", Levels: []schema.Level{
+				{Name: "division", Cardinality: 4},
+				{Name: "line", Cardinality: 15},
+				{Name: "family", Cardinality: 75},
+				{Name: "group", Cardinality: 250},
+				{Name: "class", Cardinality: 605},
+				{Name: "code", Cardinality: 9000},
+			}},
+			{Name: "Customer", Levels: []schema.Level{
+				{Name: "retailer", Cardinality: 99},
+				{Name: "store", Cardinality: 900},
+			}},
+			{Name: "Time", Levels: []schema.Level{
+				{Name: "year", Cardinality: 2},
+				{Name: "quarter", Cardinality: 8},
+				{Name: "month", Cardinality: 24},
+			}},
+			{Name: "Channel", Levels: []schema.Level{
+				{Name: "channel", Cardinality: 9},
+			}},
+		},
+	}
+}
+
+// SkewedSchema returns the APB-1 schema with Zipf skew applied to the
+// bottom level of Product and Customer (the dimensions warehouse data
+// typically skews on). theta 0.86 approximates the 80-20 rule.
+func SkewedSchema(rows int64, productTheta, customerTheta float64) *schema.Star {
+	s := Schema(rows)
+	s.Dimensions[0].SkewTheta = productTheta
+	s.Dimensions[1].SkewTheta = customerTheta
+	return s
+}
+
+// Mix returns the default APB-1-like weighted query-class mix: ten star
+// query classes over the dimension subsets the APB-1 queries touch, with
+// weights emphasizing the product/time-oriented reporting queries.
+func Mix(s *schema.Star) (*workload.Mix, error) {
+	mk := func(name string, weight float64, paths ...string) (workload.Class, error) {
+		c := workload.Class{Name: name, Weight: weight}
+		for _, p := range paths {
+			a, err := s.Attr(p)
+			if err != nil {
+				return c, fmt.Errorf("apb: %v", err)
+			}
+			c.Predicates = append(c.Predicates, a)
+		}
+		return c, nil
+	}
+	specs := []struct {
+		name   string
+		weight float64
+		paths  []string
+	}{
+		// Channel-sales reporting: product group per month.
+		{"Q1-group-month", 20, []string{"Product.group", "Time.month"}},
+		// Product-class analysis over quarters.
+		{"Q2-class-quarter", 15, []string{"Product.class", "Time.quarter"}},
+		// Store-level drill: single store, single month.
+		{"Q3-store-month", 12, []string{"Customer.store", "Time.month"}},
+		// Product family by retailer.
+		{"Q4-family-retailer", 10, []string{"Product.family", "Customer.retailer"}},
+		// Single product code lookups (sparse point queries).
+		{"Q5-code", 8, []string{"Product.code"}},
+		// Channel share per quarter.
+		{"Q6-channel-quarter", 10, []string{"Channel.channel", "Time.quarter"}},
+		// Annual division rollup.
+		{"Q7-division-year", 8, []string{"Product.division", "Time.year"}},
+		// Three-dimensional drill: class, store, month.
+		{"Q8-class-store-month", 7, []string{"Product.class", "Customer.store", "Time.month"}},
+		// Retailer-year overview.
+		{"Q9-retailer-year", 6, []string{"Customer.retailer", "Time.year"}},
+		// Four-dimensional slice.
+		{"Q10-line-retailer-quarter-channel", 4, []string{"Product.line", "Customer.retailer", "Time.quarter", "Channel.channel"}},
+	}
+	m := &workload.Mix{}
+	for _, sp := range specs {
+		c, err := mk(sp.name, sp.weight, sp.paths...)
+		if err != nil {
+			return nil, err
+		}
+		m.Classes = append(m.Classes, c)
+	}
+	if err := m.Validate(s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Disk returns the default disk configuration for APB-1 experiments:
+// the 2001-era parameter set with the given number of disks (<= 0 keeps
+// the default 64).
+func Disk(disks int) disk.Params {
+	p := disk.Default2001()
+	if disks > 0 {
+		p.Disks = disks
+	}
+	return p
+}

@@ -1,0 +1,104 @@
+package apb
+
+import (
+	"testing"
+
+	"repro/internal/fragment"
+)
+
+func TestSchemaValid(t *testing.T) {
+	s := Schema(0)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Fact.Rows != DefaultRows || s.Fact.RowSize != DefaultRowSize {
+		t.Fatalf("defaults: %+v", s.Fact)
+	}
+	if len(s.Dimensions) != 4 {
+		t.Fatalf("dimensions = %d", len(s.Dimensions))
+	}
+	// Spot-check the published APB-1 cardinalities.
+	for _, tc := range []struct {
+		path string
+		card int
+	}{
+		{"Product.code", 9000},
+		{"Product.class", 605},
+		{"Product.division", 4},
+		{"Customer.store", 900},
+		{"Time.month", 24},
+		{"Channel.channel", 9},
+	} {
+		a, err := s.Attr(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if got := s.Cardinality(a); got != tc.card {
+			t.Fatalf("%s cardinality = %d, want %d", tc.path, got, tc.card)
+		}
+	}
+}
+
+func TestSchemaScaling(t *testing.T) {
+	s := Schema(1_000_000)
+	if s.Fact.Rows != 1_000_000 {
+		t.Fatalf("rows = %d", s.Fact.Rows)
+	}
+}
+
+func TestSkewedSchema(t *testing.T) {
+	s := SkewedSchema(0, 0.86, 0.5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Dimensions[0].SkewTheta != 0.86 || s.Dimensions[1].SkewTheta != 0.5 {
+		t.Fatalf("thetas: %+v", s.Dimensions[:2])
+	}
+	if s.Dimensions[2].SkewTheta != 0 {
+		t.Fatal("Time should stay uniform")
+	}
+}
+
+func TestMixValid(t *testing.T) {
+	s := Schema(0)
+	m, err := Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(s); err != nil {
+		t.Fatalf("mix invalid: %v", err)
+	}
+	if len(m.Classes) != 10 {
+		t.Fatalf("classes = %d", len(m.Classes))
+	}
+	// All four dimensions are query-relevant.
+	if dims := m.ReferencedDims(); len(dims) != 4 {
+		t.Fatalf("referenced dims = %v", dims)
+	}
+	if m.TotalWeight() != 100 {
+		t.Fatalf("total weight = %g, want 100", m.TotalWeight())
+	}
+}
+
+func TestDiskPreset(t *testing.T) {
+	d := Disk(0)
+	if d.Disks != 64 {
+		t.Fatalf("default disks = %d", d.Disks)
+	}
+	d = Disk(16)
+	if d.Disks != 16 {
+		t.Fatalf("disks = %d", d.Disks)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("disk invalid: %v", err)
+	}
+}
+
+func TestCandidateSpaceSize(t *testing.T) {
+	s := Schema(0)
+	cands := fragment.Enumerate(s)
+	// (6+1)(2+1)(3+1)(1+1) - 1 = 167 point fragmentations.
+	if len(cands) != 167 {
+		t.Fatalf("candidates = %d, want 167", len(cands))
+	}
+}

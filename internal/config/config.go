@@ -1,0 +1,245 @@
+// Package config defines the JSON input format of the warlock CLI — the
+// textual equivalent of the GUI's input layer (paper §3.1): star schema
+// with attributes, hierarchy cardinalities, row sizes and fact table
+// volumes; optional Zipf skew per dimension; database and disk parameters;
+// and the weighted star-query mix.
+//
+// Example document:
+//
+//	{
+//	  "schema": {
+//	    "name": "APB-1",
+//	    "fact": {"name": "Sales", "rows": 24000000, "rowSize": 100},
+//	    "dimensions": [
+//	      {"name": "Time", "skewTheta": 0,
+//	       "levels": [{"name": "year", "cardinality": 2},
+//	                  {"name": "month", "cardinality": 24}]}
+//	    ]
+//	  },
+//	  "disk": {"pageSize": 8192, "disks": 64, "capacityGB": 18,
+//	           "avgSeekMs": 8, "avgRotationMs": 3, "transferMBs": 20,
+//	           "prefetchPages": 0, "bitmapPrefetchPages": 0},
+//	  "queries": [
+//	    {"name": "Q1", "weight": 20, "attributes": ["Time.month"]}
+//	  ],
+//	  "options": {"leadingPercent": 10, "topN": 10,
+//	              "bitmapCardinalityThreshold": 250,
+//	              "excludeBitmaps": ["Product.code"],
+//	              "contiguousHierarchy": false}
+//	}
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/rank"
+	"repro/internal/schema"
+	"repro/internal/skew"
+	"repro/internal/workload"
+)
+
+// ErrBadConfig reports structurally invalid configuration documents.
+var ErrBadConfig = errors.New("config: invalid configuration")
+
+// Document is the top-level JSON structure.
+type Document struct {
+	Schema  SchemaDoc  `json:"schema"`
+	Disk    DiskDoc    `json:"disk"`
+	Queries []QueryDoc `json:"queries"`
+	Options OptionsDoc `json:"options"`
+}
+
+// SchemaDoc mirrors schema.Star.
+type SchemaDoc struct {
+	Name       string         `json:"name"`
+	Fact       FactDoc        `json:"fact"`
+	Dimensions []DimensionDoc `json:"dimensions"`
+}
+
+// FactDoc mirrors schema.FactTable.
+type FactDoc struct {
+	Name    string `json:"name"`
+	Rows    int64  `json:"rows"`
+	RowSize int    `json:"rowSize"`
+}
+
+// DimensionDoc mirrors schema.Dimension.
+type DimensionDoc struct {
+	Name      string     `json:"name"`
+	SkewTheta float64    `json:"skewTheta,omitempty"`
+	Levels    []LevelDoc `json:"levels"`
+}
+
+// LevelDoc mirrors schema.Level.
+type LevelDoc struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+}
+
+// DiskDoc mirrors disk.Params with human-friendly units.
+type DiskDoc struct {
+	PageSize            int     `json:"pageSize"`
+	Disks               int     `json:"disks"`
+	CapacityGB          float64 `json:"capacityGB"`
+	AvgSeekMs           float64 `json:"avgSeekMs"`
+	AvgRotationMs       float64 `json:"avgRotationMs"`
+	TransferMBs         float64 `json:"transferMBs"`
+	PrefetchPages       int     `json:"prefetchPages,omitempty"`
+	BitmapPrefetchPages int     `json:"bitmapPrefetchPages,omitempty"`
+}
+
+// QueryDoc mirrors workload.Class with attribute paths.
+type QueryDoc struct {
+	Name       string   `json:"name"`
+	Weight     float64  `json:"weight"`
+	Attributes []string `json:"attributes"`
+}
+
+// OptionsDoc carries advisor tuning knobs.
+type OptionsDoc struct {
+	LeadingPercent             float64  `json:"leadingPercent,omitempty"`
+	TopN                       int      `json:"topN,omitempty"`
+	MinAvgFragmentPages        int64    `json:"minAvgFragmentPages,omitempty"`
+	MaxFragments               int64    `json:"maxFragments,omitempty"`
+	BitmapCardinalityThreshold int      `json:"bitmapCardinalityThreshold,omitempty"`
+	ExcludeBitmaps             []string `json:"excludeBitmaps,omitempty"`
+	ContiguousHierarchy        bool     `json:"contiguousHierarchy,omitempty"`
+	RequireCapacity            bool     `json:"requireCapacity,omitempty"`
+}
+
+// Parse decodes a JSON document.
+func Parse(r io.Reader) (*Document, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d Document
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return &d, nil
+}
+
+// Build converts the document into a validated advisor input.
+func (d *Document) Build() (*core.Input, error) {
+	s := &schema.Star{
+		Name: d.Schema.Name,
+		Fact: schema.FactTable{Name: d.Schema.Fact.Name, Rows: d.Schema.Fact.Rows, RowSize: d.Schema.Fact.RowSize},
+	}
+	for _, dd := range d.Schema.Dimensions {
+		dim := schema.Dimension{Name: dd.Name, SkewTheta: dd.SkewTheta}
+		for _, l := range dd.Levels {
+			dim.Levels = append(dim.Levels, schema.Level{Name: l.Name, Cardinality: l.Cardinality})
+		}
+		s.Dimensions = append(s.Dimensions, dim)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+
+	dp := disk.Params{
+		PageSize:            d.Disk.PageSize,
+		Disks:               d.Disk.Disks,
+		CapacityBytes:       int64(d.Disk.CapacityGB * float64(1<<30)),
+		AvgSeek:             time.Duration(d.Disk.AvgSeekMs * float64(time.Millisecond)),
+		AvgRotation:         time.Duration(d.Disk.AvgRotationMs * float64(time.Millisecond)),
+		TransferRate:        d.Disk.TransferMBs * float64(1<<20),
+		PrefetchPages:       d.Disk.PrefetchPages,
+		BitmapPrefetchPages: d.Disk.BitmapPrefetchPages,
+	}
+	if err := dp.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+
+	mix := &workload.Mix{}
+	for _, q := range d.Queries {
+		c := workload.Class{Name: q.Name, Weight: q.Weight}
+		for _, path := range q.Attributes {
+			a, err := s.Attr(path)
+			if err != nil {
+				return nil, fmt.Errorf("%w: query %q: %v", ErrBadConfig, q.Name, err)
+			}
+			c.Predicates = append(c.Predicates, a)
+		}
+		mix.Classes = append(mix.Classes, c)
+	}
+	if err := mix.Validate(s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+
+	in := &core.Input{
+		Schema: s,
+		Mix:    mix,
+		Disk:   dp,
+		Rank: rank.Options{
+			LeadingPercent:  d.Options.LeadingPercent,
+			TopN:            d.Options.TopN,
+			RequireCapacity: d.Options.RequireCapacity,
+		},
+		Bitmap: bitmap.Options{CardinalityThreshold: d.Options.BitmapCardinalityThreshold},
+	}
+	if d.Options.MinAvgFragmentPages > 0 || d.Options.MaxFragments > 0 {
+		in.Thresholds.MinAvgFragmentPages = d.Options.MinAvgFragmentPages
+		in.Thresholds.MaxFragments = d.Options.MaxFragments
+	}
+	if d.Options.ContiguousHierarchy {
+		in.Mapping = skew.Contiguous
+	}
+	for _, path := range d.Options.ExcludeBitmaps {
+		a, err := s.Attr(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: excludeBitmaps: %v", ErrBadConfig, err)
+		}
+		in.Bitmap.Exclude = append(in.Bitmap.Exclude, a)
+	}
+	return in, nil
+}
+
+// FromAPB1 renders a Document equivalent to the built-in APB-1 preset with
+// the given scale; useful as a starting point for hand-edited configs
+// (warlock -emit-example).
+func FromAPB1(rows int64, disks int) *Document {
+	doc := &Document{
+		Schema: SchemaDoc{
+			Name: "APB-1",
+			Fact: FactDoc{Name: "Sales", Rows: rows, RowSize: 100},
+			Dimensions: []DimensionDoc{
+				{Name: "Product", Levels: []LevelDoc{
+					{"division", 4}, {"line", 15}, {"family", 75}, {"group", 250}, {"class", 605}, {"code", 9000},
+				}},
+				{Name: "Customer", Levels: []LevelDoc{{"retailer", 99}, {"store", 900}}},
+				{Name: "Time", Levels: []LevelDoc{{"year", 2}, {"quarter", 8}, {"month", 24}}},
+				{Name: "Channel", Levels: []LevelDoc{{"channel", 9}}},
+			},
+		},
+		Disk: DiskDoc{
+			PageSize: 8192, Disks: disks, CapacityGB: 18,
+			AvgSeekMs: 8, AvgRotationMs: 3, TransferMBs: 20,
+		},
+		Queries: []QueryDoc{
+			{"Q1-group-month", 20, []string{"Product.group", "Time.month"}},
+			{"Q2-class-quarter", 15, []string{"Product.class", "Time.quarter"}},
+			{"Q3-store-month", 12, []string{"Customer.store", "Time.month"}},
+			{"Q4-family-retailer", 10, []string{"Product.family", "Customer.retailer"}},
+			{"Q5-code", 8, []string{"Product.code"}},
+			{"Q6-channel-quarter", 10, []string{"Channel.channel", "Time.quarter"}},
+			{"Q7-division-year", 8, []string{"Product.division", "Time.year"}},
+			{"Q8-class-store-month", 7, []string{"Product.class", "Customer.store", "Time.month"}},
+			{"Q9-retailer-year", 6, []string{"Customer.retailer", "Time.year"}},
+			{"Q10-line-retailer-quarter-channel", 4, []string{"Product.line", "Customer.retailer", "Time.quarter", "Channel.channel"}},
+		},
+	}
+	return doc
+}
+
+// Encode writes the document as indented JSON.
+func (d *Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

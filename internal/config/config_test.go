@@ -1,0 +1,174 @@
+package config
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skew"
+)
+
+func TestRoundTripAPB1(t *testing.T) {
+	doc := FromAPB1(1_000_000, 16)
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := parsed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Schema.Fact.Rows != 1_000_000 || in.Disk.Disks != 16 {
+		t.Fatalf("round trip lost values: %+v %+v", in.Schema.Fact, in.Disk)
+	}
+	if len(in.Mix.Classes) != 10 {
+		t.Fatalf("classes = %d", len(in.Mix.Classes))
+	}
+	// The built input must drive the advisor end to end.
+	in.Disk.PrefetchPages = 4
+	res, err := core.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best() == nil {
+		t.Fatal("no winner")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"bogus": 1}`))
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{`))
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("bad schema", func(t *testing.T) {
+		doc := FromAPB1(0, 16)
+		doc.Schema.Fact.Rows = 0
+		doc.Schema.Fact.Rows = -5
+		if _, err := doc.Build(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad disk", func(t *testing.T) {
+		doc := FromAPB1(1000, 16)
+		doc.Disk.TransferMBs = 0
+		if _, err := doc.Build(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown query attr", func(t *testing.T) {
+		doc := FromAPB1(1000, 16)
+		doc.Queries[0].Attributes = []string{"Nope.x"}
+		if _, err := doc.Build(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad weight", func(t *testing.T) {
+		doc := FromAPB1(1000, 16)
+		doc.Queries[0].Weight = 0
+		if _, err := doc.Build(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad exclude", func(t *testing.T) {
+		doc := FromAPB1(1000, 16)
+		doc.Options.ExcludeBitmaps = []string{"Nope.x"}
+		if _, err := doc.Build(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	doc := FromAPB1(1000, 16)
+	doc.Options = OptionsDoc{
+		LeadingPercent:             25,
+		TopN:                       3,
+		MinAvgFragmentPages:        8,
+		MaxFragments:               500,
+		BitmapCardinalityThreshold: 100,
+		ExcludeBitmaps:             []string{"Product.code"},
+		ContiguousHierarchy:        true,
+		RequireCapacity:            true,
+	}
+	in, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Rank.LeadingPercent != 25 || in.Rank.TopN != 3 || !in.Rank.RequireCapacity {
+		t.Fatalf("rank opts: %+v", in.Rank)
+	}
+	if in.Thresholds.MinAvgFragmentPages != 8 || in.Thresholds.MaxFragments != 500 {
+		t.Fatalf("thresholds: %+v", in.Thresholds)
+	}
+	if in.Bitmap.CardinalityThreshold != 100 || len(in.Bitmap.Exclude) != 1 {
+		t.Fatalf("bitmap opts: %+v", in.Bitmap)
+	}
+	if in.Mapping != skew.Contiguous {
+		t.Fatalf("mapping: %v", in.Mapping)
+	}
+}
+
+// Fuzz-style robustness: random mutations of a valid document either
+// round-trip into a valid input or fail with ErrBadConfig — never panic.
+func TestBuildRandomMutations(t *testing.T) {
+	muts := []func(*Document){
+		func(d *Document) { d.Schema.Fact.Rows = -1 },
+		func(d *Document) { d.Schema.Fact.RowSize = 0 },
+		func(d *Document) { d.Schema.Dimensions = nil },
+		func(d *Document) { d.Schema.Dimensions[0].Levels = nil },
+		func(d *Document) { d.Schema.Dimensions[0].Levels[0].Cardinality = -4 },
+		func(d *Document) { d.Schema.Dimensions[0].SkewTheta = 99 },
+		func(d *Document) { d.Disk.PageSize = 0 },
+		func(d *Document) { d.Disk.Disks = -2 },
+		func(d *Document) { d.Disk.CapacityGB = 0 },
+		func(d *Document) { d.Disk.AvgSeekMs = -1 },
+		func(d *Document) { d.Queries = nil },
+		func(d *Document) { d.Queries[0].Attributes = nil },
+		func(d *Document) { d.Queries[0].Attributes = []string{"noDot"} },
+		func(d *Document) { d.Queries[0].Weight = -3 },
+		func(d *Document) { d.Queries[1].Name = d.Queries[0].Name },
+		func(d *Document) { d.Options.ExcludeBitmaps = []string{"X.y"} },
+		func(d *Document) {
+			d.Queries[0].Attributes = []string{"Product.code", "Product.class"}
+		},
+	}
+	for i, mut := range muts {
+		doc := FromAPB1(100_000, 8)
+		mut(doc)
+		_, err := doc.Build()
+		if err == nil {
+			t.Fatalf("mutation %d should be rejected", i)
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("mutation %d: error %v not classified as ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestSkewThetaPropagates(t *testing.T) {
+	doc := FromAPB1(1000, 16)
+	doc.Schema.Dimensions[0].SkewTheta = 0.86
+	in, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Schema.Dimensions[0].SkewTheta != 0.86 {
+		t.Fatalf("theta = %g", in.Schema.Dimensions[0].SkewTheta)
+	}
+}

@@ -1,0 +1,216 @@
+// Package core implements the WARLOCK advisor pipeline — the tool
+// architecture of the paper's Fig. 1:
+//
+//	Input layer      star schema, DBS & disk parameters, weighted star
+//	                 query mix (package schema, disk, workload)
+//	Prediction layer generation of fragmentations & bitmaps, exclusion of
+//	                 fragmentations by thresholds, calculation of
+//	                 performance metrics via the I/O cost model, ranking
+//	                 of "top" fragmentations (package fragment, bitmap,
+//	                 costmodel, rank)
+//	Analysis layer   fragmentation candidates, query analysis, physical
+//	                 allocation scheme (package analysis)
+//
+// Advise runs the whole pipeline; the Result carries everything the
+// analysis and output layer renders.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/bitmap"
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/fragment"
+	"repro/internal/rank"
+	"repro/internal/schema"
+	"repro/internal/skew"
+	"repro/internal/workload"
+)
+
+// ErrNoFeasible is returned when every candidate was excluded or failed
+// evaluation.
+var ErrNoFeasible = errors.New("core: no feasible fragmentation candidate")
+
+// Input is the advisor's input layer.
+type Input struct {
+	// Schema is the star schema (required).
+	Schema *schema.Star
+	// Mix is the weighted star-query mix (required).
+	Mix *workload.Mix
+	// Disk carries the DBS & disk parameters (required; see
+	// disk.Default2001 for a representative set).
+	Disk disk.Params
+	// Thresholds exclude fragmentation candidates before evaluation.
+	// The zero value applies DefaultThresholds.
+	Thresholds fragment.Thresholds
+	// Rank controls the twofold ranking (zero value = paper defaults).
+	Rank rank.Options
+	// Mapping selects the hierarchy skew-aggregation mapping.
+	Mapping skew.Mapping
+	// Bitmap carries bitmap planning options (threshold, DBA exclusions).
+	Bitmap bitmap.Options
+	// AllocScheme forces an allocation scheme; nil applies WARLOCK's rule
+	// (round-robin, greedy size-based under notable skew).
+	AllocScheme *alloc.Scheme
+	// SkewCVThreshold tunes the "notable skew" detection.
+	SkewCVThreshold float64
+	// Candidates restricts evaluation to an explicit list; nil enumerates
+	// every point fragmentation of the schema.
+	Candidates []*fragment.Fragmentation
+}
+
+// Result is everything the prediction layer hands to the analysis layer.
+type Result struct {
+	Input *Input
+	// Ranked is the final candidate list of the twofold heuristic,
+	// best compromise first.
+	Ranked []rank.Ranked
+	// Evaluations holds every successfully evaluated candidate (superset
+	// of the ranked ones), in enumeration order.
+	Evaluations []*costmodel.Evaluation
+	// Excluded lists candidates dropped by thresholds, with reasons.
+	Excluded []fragment.Violation
+	// EvalFailures lists candidates that failed evaluation.
+	EvalFailures []error
+}
+
+// DefaultThresholds derives the paper's standard exclusions from the disk
+// parameters: average fragments must not drop below the (configured or
+// representative) prefetch granule, and the fragment count is bounded to
+// keep candidate materialization tractable.
+func DefaultThresholds(d disk.Params) fragment.Thresholds {
+	minPages := int64(d.PrefetchPages)
+	if minPages <= 0 {
+		minPages = 16 // representative granule when the advisor optimizes
+	}
+	return fragment.Thresholds{
+		MinAvgFragmentPages: minPages,
+		MaxFragments:        1 << 20,
+	}
+}
+
+// Validate checks the input layer.
+func (in *Input) Validate() error {
+	if in.Schema == nil {
+		return fmt.Errorf("core: %w", schema.ErrEmptySchema)
+	}
+	if err := in.Schema.Validate(); err != nil {
+		return err
+	}
+	if in.Mix == nil {
+		return workload.ErrNoClasses
+	}
+	if err := in.Mix.Validate(in.Schema); err != nil {
+		return err
+	}
+	return in.Disk.Validate()
+}
+
+// Advise runs the WARLOCK pipeline: candidate generation, threshold
+// exclusion, cost-model evaluation, and twofold ranking.
+func Advise(in *Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	th := in.Thresholds
+	if th == (fragment.Thresholds{}) {
+		th = DefaultThresholds(in.Disk)
+	}
+	res := &Result{Input: in}
+
+	// Candidate generation & threshold exclusion.
+	var cands []*fragment.Fragmentation
+	if in.Candidates != nil {
+		for _, f := range in.Candidates {
+			if v := th.PreCheck(in.Schema, f, in.Disk.PageSize); v != nil {
+				res.Excluded = append(res.Excluded, *v)
+				continue
+			}
+			cands = append(cands, f)
+		}
+	} else {
+		cands, res.Excluded = fragment.EnumerateFiltered(in.Schema, th, in.Disk.PageSize)
+	}
+	if len(cands) == 0 {
+		return res, fmt.Errorf("%w: all %d candidates excluded by thresholds", ErrNoFeasible, len(res.Excluded))
+	}
+
+	// Cost model evaluation.
+	cfg := &costmodel.Config{
+		Schema:          in.Schema,
+		Mix:             in.Mix,
+		Disk:            in.Disk,
+		Mapping:         in.Mapping,
+		Bitmap:          in.Bitmap,
+		AllocScheme:     in.AllocScheme,
+		SkewCVThreshold: in.SkewCVThreshold,
+		MaxFragments:    th.MaxFragments,
+	}
+	var evalErrs []error
+	res.Evaluations, evalErrs = costmodel.EvaluateAll(cfg, cands)
+	res.EvalFailures = evalErrs
+
+	// Post-evaluation threshold check (size-based exclusions under skew
+	// that the cheap pre-check could not decide).
+	kept := res.Evaluations[:0]
+	for _, ev := range res.Evaluations {
+		if v := th.Check(ev.Geometry); v != nil {
+			res.Excluded = append(res.Excluded, *v)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	res.Evaluations = kept
+	if len(res.Evaluations) == 0 {
+		return res, fmt.Errorf("%w: no candidate survived evaluation", ErrNoFeasible)
+	}
+
+	// Twofold ranking.
+	ranked, err := rank.Rank(res.Evaluations, in.Rank)
+	if err != nil {
+		return res, err
+	}
+	res.Ranked = ranked
+	return res, nil
+}
+
+// Best returns the top-ranked evaluation.
+func (r *Result) Best() *costmodel.Evaluation {
+	if len(r.Ranked) == 0 {
+		return nil
+	}
+	return r.Ranked[0].Eval
+}
+
+// Find returns the evaluation of the candidate with the given key, or nil.
+func (r *Result) Find(key string) *costmodel.Evaluation {
+	for _, ev := range r.Evaluations {
+		if ev.Frag.Key() == key {
+			return ev
+		}
+	}
+	return nil
+}
+
+// CostModelConfig reconstructs the cost-model configuration the advisor
+// used, for follow-up analyses (simulation, what-if evaluation).
+func (r *Result) CostModelConfig() *costmodel.Config {
+	in := r.Input
+	th := in.Thresholds
+	if th == (fragment.Thresholds{}) {
+		th = DefaultThresholds(in.Disk)
+	}
+	return &costmodel.Config{
+		Schema:          in.Schema,
+		Mix:             in.Mix,
+		Disk:            in.Disk,
+		Mapping:         in.Mapping,
+		Bitmap:          in.Bitmap,
+		AllocScheme:     in.AllocScheme,
+		SkewCVThreshold: in.SkewCVThreshold,
+		MaxFragments:    th.MaxFragments,
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/apb"
+	"repro/internal/fragment"
+	"repro/internal/rank"
+)
+
+// smallInput returns an APB-1 advisor input scaled down so the full
+// pipeline runs in milliseconds.
+func smallInput(t *testing.T) *Input {
+	t.Helper()
+	s := apb.Schema(1_000_000) // 1M rows ≈ 12K pages
+	m, err := apb.Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := apb.Disk(16)
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	return &Input{Schema: s, Mix: m, Disk: d}
+}
+
+func TestAdviseEndToEnd(t *testing.T) {
+	in := smallInput(t)
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) == 0 {
+		t.Fatal("no ranked candidates")
+	}
+	if res.Best() == nil {
+		t.Fatal("Best() nil")
+	}
+	// Some candidates must have been excluded by thresholds (the schema
+	// has 167 point fragmentations, many too fine for 1M rows).
+	if len(res.Excluded) == 0 {
+		t.Fatal("expected threshold exclusions")
+	}
+	if len(res.Evaluations)+countKeys(res.Excluded) > 167 {
+		t.Fatalf("bookkeeping: %d evaluated + %d excluded > 167",
+			len(res.Evaluations), len(res.Excluded))
+	}
+	// The winner must fragment at least one query-relevant dimension.
+	best := res.Best()
+	dims := map[int]bool{}
+	for _, a := range best.Frag.Attrs() {
+		dims[a.Dim] = true
+	}
+	relevant := false
+	for _, d := range in.Mix.ReferencedDims() {
+		if dims[d] {
+			relevant = true
+		}
+	}
+	if !relevant {
+		t.Fatalf("winner %s fragments no query-relevant dimension", best.Frag.Name(in.Schema))
+	}
+	// Ranking must be consistent: every ranked candidate is evaluated.
+	for _, r := range res.Ranked {
+		if res.Find(r.Eval.Frag.Key()) == nil {
+			t.Fatalf("ranked candidate %s not in evaluations", r.Eval.Frag.Key())
+		}
+	}
+}
+
+func countKeys(vs []fragment.Violation) int { return len(vs) }
+
+func TestAdviseValidation(t *testing.T) {
+	if _, err := Advise(&Input{}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	in := smallInput(t)
+	in.Mix = nil
+	if _, err := Advise(in); err == nil {
+		t.Fatal("nil mix should fail")
+	}
+}
+
+func TestAdviseAllExcluded(t *testing.T) {
+	in := smallInput(t)
+	in.Thresholds = fragment.Thresholds{MinFragments: 1 << 40}
+	_, err := Advise(in)
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAdviseExplicitCandidates(t *testing.T) {
+	in := smallInput(t)
+	f1, _ := fragment.Parse(in.Schema, "Product.family", "Time.quarter")
+	f2, _ := fragment.Parse(in.Schema, "Channel.channel")
+	in.Candidates = []*fragment.Fragmentation{f1, f2}
+	in.Rank = rank.Options{LeadingPercent: 100, MinLeading: 1}
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) != 2 {
+		t.Fatalf("evaluations = %d, want 2", len(res.Evaluations))
+	}
+	if res.Find(f1.Key()) == nil || res.Find(f2.Key()) == nil {
+		t.Fatal("explicit candidates missing from evaluations")
+	}
+	if res.Find("nope") != nil {
+		t.Fatal("Find(nope) should be nil")
+	}
+}
+
+func TestAdviseExplicitCandidatePrecheck(t *testing.T) {
+	in := smallInput(t)
+	fine, _ := fragment.Parse(in.Schema, "Product.code", "Customer.store") // 8.1M fragments
+	in.Candidates = []*fragment.Fragmentation{fine}
+	_, err := Advise(in)
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAdviseForcedAllocation(t *testing.T) {
+	in := smallInput(t)
+	rr := alloc.RoundRobin
+	in.AllocScheme = &rr
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Evaluations {
+		if ev.Placement.Scheme != alloc.RoundRobin {
+			t.Fatalf("%s: scheme %v", ev.Frag.Name(in.Schema), ev.Placement.Scheme)
+		}
+	}
+}
+
+func TestAdviseSkewSwitchesToGreedy(t *testing.T) {
+	in := smallInput(t)
+	in.Schema = apb.SkewedSchema(1_000_000, 1.2, 0)
+	m, err := apb.Mix(in.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Mix = m
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGreedy := false
+	for _, ev := range res.Evaluations {
+		if _, onProduct := ev.Frag.Attr(0); onProduct && ev.Placement.Scheme == alloc.GreedySize {
+			sawGreedy = true
+		}
+	}
+	if !sawGreedy {
+		t.Fatal("strong Product skew should trigger greedy allocation on Product fragmentations")
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	d := apb.Disk(0)
+	th := DefaultThresholds(d)
+	if th.MinAvgFragmentPages != 16 {
+		t.Fatalf("auto prefetch default = %d", th.MinAvgFragmentPages)
+	}
+	d.PrefetchPages = 64
+	th = DefaultThresholds(d)
+	if th.MinAvgFragmentPages != 64 {
+		t.Fatalf("configured prefetch = %d", th.MinAvgFragmentPages)
+	}
+}
+
+func TestCostModelConfigRoundTrip(t *testing.T) {
+	in := smallInput(t)
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.CostModelConfig()
+	if cfg.Schema != in.Schema || cfg.Mix != in.Mix {
+		t.Fatal("config does not reference the input")
+	}
+	if cfg.MaxFragments != DefaultThresholds(in.Disk).MaxFragments {
+		t.Fatalf("MaxFragments = %d", cfg.MaxFragments)
+	}
+}
+
+func TestAdviseDeterministic(t *testing.T) {
+	a, err := Advise(smallInput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Advise(smallInput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ranked) != len(b.Ranked) {
+		t.Fatal("ranked lengths differ")
+	}
+	for i := range a.Ranked {
+		if a.Ranked[i].Eval.Frag.Key() != b.Ranked[i].Eval.Frag.Key() {
+			t.Fatalf("rank %d differs: %s vs %s", i,
+				a.Ranked[i].Eval.Frag.Key(), b.Ranked[i].Eval.Frag.Key())
+		}
+	}
+}
+
+func TestRankedNamesReadable(t *testing.T) {
+	in := smallInput(t)
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := res.Best().Frag.Name(in.Schema)
+	if !strings.Contains(name, ".") {
+		t.Fatalf("candidate name %q not in Dim.level form", name)
+	}
+}

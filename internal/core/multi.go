@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/costmodel"
+)
+
+// Multi-fact-table support: the paper's schemas carry "one or more fact
+// tables" (§2). Each fact table has its own star, query mix and MDHF
+// recommendation; the fact tables then share the disk pool, so their
+// winning fragmentations are CO-ALLOCATED: all fragments of all fact
+// tables (with their co-located bitmaps) are placed together, greedy
+// size-based when the combined sizes are skewed, keeping overall disk
+// occupancy balanced.
+
+// ErrMultiInput reports invalid multi-fact-table inputs.
+var ErrMultiInput = errors.New("core: invalid multi-fact-table input")
+
+// MultiInput advises several fact tables sharing one disk pool. Every
+// input must carry identical disk parameters.
+type MultiInput struct {
+	Inputs []*Input
+}
+
+// MultiResult is the combined advisory.
+type MultiResult struct {
+	// Results holds the per-fact-table advisory (ranked candidates etc.).
+	Results []*Result
+	// Combined is the co-allocation of every winner's fragments over the
+	// shared disks. Fragments are concatenated in input order; Offsets
+	// locates each fact table's fragment range.
+	Combined *alloc.Placement
+	// Offsets[i] is the index of input i's first fragment in Combined;
+	// Offsets[len(Inputs)] is the total fragment count.
+	Offsets []int
+	// CapacityOK reports whether the combined allocation fits the disks.
+	CapacityOK bool
+}
+
+// AdviseMulti runs the advisor for each fact table and co-allocates the
+// winners on the shared disk pool.
+func AdviseMulti(mi *MultiInput) (*MultiResult, error) {
+	if len(mi.Inputs) == 0 {
+		return nil, fmt.Errorf("%w: no inputs", ErrMultiInput)
+	}
+	d0 := mi.Inputs[0].Disk
+	for i, in := range mi.Inputs {
+		if in.Disk != d0 {
+			return nil, fmt.Errorf("%w: input %d has different disk parameters", ErrMultiInput, i)
+		}
+	}
+	mr := &MultiResult{Offsets: make([]int, 0, len(mi.Inputs)+1)}
+	var combined []int64
+	for i, in := range mi.Inputs {
+		res, err := Advise(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: fact table %d (%s): %w", i, in.Schema.Fact.Name, err)
+		}
+		mr.Results = append(mr.Results, res)
+		mr.Offsets = append(mr.Offsets, len(combined))
+		combined = append(combined, costmodel.AllocationPages(res.Best())...)
+	}
+	mr.Offsets = append(mr.Offsets, len(combined))
+
+	skewCV := mi.Inputs[0].SkewCVThreshold
+	pl, err := alloc.Choose(combined, d0.Disks, skewCV)
+	if err != nil {
+		return nil, err
+	}
+	mr.Combined = pl
+	capacityPages := d0.CapacityBytes / int64(d0.PageSize)
+	mr.CapacityOK = pl.FitsCapacity(capacityPages)
+	return mr, nil
+}
+
+// FragmentDisk returns the disk of fragment `frag` of fact table `table`
+// in the combined allocation.
+func (mr *MultiResult) FragmentDisk(table int, frag int64) (int, error) {
+	if table < 0 || table >= len(mr.Results) {
+		return 0, fmt.Errorf("%w: table %d", ErrMultiInput, table)
+	}
+	idx := mr.Offsets[table] + int(frag)
+	if idx >= mr.Offsets[table+1] || frag < 0 {
+		return 0, fmt.Errorf("%w: fragment %d of table %d", ErrMultiInput, frag, table)
+	}
+	return mr.Combined.DiskOf[idx], nil
+}

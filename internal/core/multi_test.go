@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apb"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// inventoryInput builds a second fact table (Inventory) over a subset-like
+// dimensional model, sharing the disk pool with Sales.
+func inventoryInput(t *testing.T) *Input {
+	t.Helper()
+	s := &schema.Star{
+		Name: "Inventory",
+		Fact: schema.FactTable{Name: "Stock", Rows: 400_000, RowSize: 60},
+		Dimensions: []schema.Dimension{
+			{Name: "Product", Levels: []schema.Level{
+				{Name: "family", Cardinality: 75},
+				{Name: "code", Cardinality: 9000},
+			}},
+			{Name: "Warehouse", Levels: []schema.Level{
+				{Name: "region", Cardinality: 12},
+				{Name: "site", Cardinality: 120},
+			}},
+			{Name: "Time", Levels: []schema.Level{
+				{Name: "month", Cardinality: 24},
+			}},
+		},
+	}
+	fam, err := s.Attr("Product.family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := s.Attr("Warehouse.site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	month, err := s.Attr("Time.month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &workload.Mix{Classes: []workload.Class{
+		{Name: "stock-by-family", Predicates: []schema.AttrRef{fam, month}, Weight: 3},
+		{Name: "site-stock", Predicates: []schema.AttrRef{site}, Weight: 1},
+	}}
+	dk := apb.Disk(16)
+	dk.PrefetchPages = 4
+	dk.BitmapPrefetchPages = 4
+	return &Input{Schema: s, Mix: m, Disk: dk}
+}
+
+func TestAdviseMulti(t *testing.T) {
+	sales := smallInput(t)
+	inv := inventoryInput(t)
+	inv.Disk = sales.Disk // identical pool
+	mr, err := AdviseMulti(&MultiInput{Inputs: []*Input{sales, inv}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Results) != 2 {
+		t.Fatalf("results = %d", len(mr.Results))
+	}
+	// Offsets partition the combined fragment list.
+	n0 := int(mr.Results[0].Best().Geometry.NumFragments())
+	n1 := int(mr.Results[1].Best().Geometry.NumFragments())
+	if mr.Offsets[0] != 0 || mr.Offsets[1] != n0 || mr.Offsets[2] != n0+n1 {
+		t.Fatalf("offsets = %v, fragments %d/%d", mr.Offsets, n0, n1)
+	}
+	if len(mr.Combined.DiskOf) != n0+n1 {
+		t.Fatalf("combined covers %d of %d", len(mr.Combined.DiskOf), n0+n1)
+	}
+	if !mr.CapacityOK {
+		t.Fatal("small tables should fit")
+	}
+	// Balanced co-allocation.
+	st := mr.Combined.Stats()
+	if st.Imbalance > 1.5 {
+		t.Fatalf("combined imbalance %.3f", st.Imbalance)
+	}
+	// FragmentDisk addressing.
+	d0, err := mr.FragmentDisk(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != mr.Combined.DiskOf[0] {
+		t.Fatal("FragmentDisk(0,0) mismatch")
+	}
+	d1, err := mr.FragmentDisk(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != mr.Combined.DiskOf[n0] {
+		t.Fatal("FragmentDisk(1,0) mismatch")
+	}
+	if _, err := mr.FragmentDisk(5, 0); !errors.Is(err, ErrMultiInput) {
+		t.Fatalf("bad table: %v", err)
+	}
+	if _, err := mr.FragmentDisk(0, int64(n0)); !errors.Is(err, ErrMultiInput) {
+		t.Fatalf("fragment out of range: %v", err)
+	}
+}
+
+func TestAdviseMultiErrors(t *testing.T) {
+	if _, err := AdviseMulti(&MultiInput{}); !errors.Is(err, ErrMultiInput) {
+		t.Fatalf("empty: %v", err)
+	}
+	sales := smallInput(t)
+	inv := inventoryInput(t)
+	inv.Disk.Disks = sales.Disk.Disks + 1 // mismatched pool
+	if _, err := AdviseMulti(&MultiInput{Inputs: []*Input{sales, inv}}); !errors.Is(err, ErrMultiInput) {
+		t.Fatalf("mismatched disks: %v", err)
+	}
+	bad := smallInput(t)
+	bad.Mix = nil
+	if _, err := AdviseMulti(&MultiInput{Inputs: []*Input{bad}}); err == nil {
+		t.Fatal("invalid input should fail")
+	}
+}

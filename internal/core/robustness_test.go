@@ -1,0 +1,145 @@
+package core
+
+// Robustness sweep: the advisor must never panic and must either produce a
+// consistent ranked result or fail with a classified error, across
+// randomly generated schemas, skews and query mixes. This is the failure-
+// injection net over the whole pipeline.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apb"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// randomStar generates a valid random star schema.
+func randomStar(rng *rand.Rand) *schema.Star {
+	nDims := 1 + rng.Intn(4)
+	s := &schema.Star{
+		Name: "Rnd",
+		Fact: schema.FactTable{
+			Name:    "F",
+			Rows:    int64(10_000 + rng.Intn(2_000_000)),
+			RowSize: 20 + rng.Intn(400),
+		},
+	}
+	for d := 0; d < nDims; d++ {
+		nLevels := 1 + rng.Intn(4)
+		dim := schema.Dimension{Name: fmt.Sprintf("D%d", d)}
+		card := 1 + rng.Intn(8)
+		for l := 0; l < nLevels; l++ {
+			dim.Levels = append(dim.Levels, schema.Level{
+				Name:        fmt.Sprintf("l%d", l),
+				Cardinality: card,
+			})
+			card *= 1 + rng.Intn(20)
+			if card > 50_000 {
+				card = 50_000
+			}
+		}
+		if rng.Intn(3) == 0 {
+			dim.SkewTheta = rng.Float64() * 1.5
+		}
+		s.Dimensions = append(s.Dimensions, dim)
+	}
+	return s
+}
+
+func TestAdviseRobustnessSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	ran, failed := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		s := randomStar(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid schema: %v", trial, err)
+		}
+		m, err := workload.RandomMix(s, 1+rng.Intn(8), rng.Int63())
+		if err != nil {
+			t.Fatalf("trial %d: random mix: %v", trial, err)
+		}
+		d := apb.Disk(1 + rng.Intn(64))
+		d.PrefetchPages = 1 << rng.Intn(7)
+		d.BitmapPrefetchPages = d.PrefetchPages
+		in := &Input{Schema: s, Mix: m, Disk: d}
+		res, err := Advise(in)
+		if err != nil {
+			// The only acceptable failure: every candidate excluded
+			// (tiny tables with coarse prefetch thresholds).
+			if !errors.Is(err, ErrNoFeasible) {
+				t.Fatalf("trial %d (%s): unexpected error %v", trial, s, err)
+			}
+			failed++
+			continue
+		}
+		ran++
+		if res.Best() == nil {
+			t.Fatalf("trial %d: success without winner", trial)
+		}
+		// Structural consistency of the result.
+		for _, r := range res.Ranked {
+			ev := r.Eval
+			if ev.ResponseTime < 0 || ev.AccessCost < 0 {
+				t.Fatalf("trial %d: negative metrics %v/%v", trial, ev.AccessCost, ev.ResponseTime)
+			}
+			if float64(ev.ResponseTime) > float64(ev.AccessCost)*1.05+1 {
+				t.Fatalf("trial %d %s: response %v > access %v", trial,
+					ev.Frag.Name(s), ev.ResponseTime, ev.AccessCost)
+			}
+			if int64(len(ev.Placement.DiskOf)) != ev.Geometry.NumFragments() {
+				t.Fatalf("trial %d: placement size mismatch", trial)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no random trial advised successfully")
+	}
+	t.Logf("robustness sweep: %d advised, %d infeasible", ran, failed)
+}
+
+func TestAdviseRobustnessWithExplicitCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		s := randomStar(rng)
+		m, err := workload.RandomMix(s, 3, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := apb.Disk(8)
+		d.PrefetchPages = 1
+		d.BitmapPrefetchPages = 1
+		cands := fragment.Enumerate(s)
+		// Feed a random subset as explicit candidates.
+		var subset []*fragment.Fragmentation
+		for _, f := range cands {
+			if rng.Intn(3) == 0 {
+				subset = append(subset, f)
+			}
+		}
+		if len(subset) == 0 {
+			subset = cands[:1]
+		}
+		in := &Input{Schema: s, Mix: m, Disk: d, Candidates: subset}
+		res, err := Advise(in)
+		if err != nil {
+			if errors.Is(err, ErrNoFeasible) {
+				continue
+			}
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every evaluation corresponds to a submitted candidate.
+		allowed := map[string]bool{}
+		for _, f := range subset {
+			allowed[f.Key()] = true
+		}
+		for _, ev := range res.Evaluations {
+			if !allowed[ev.Frag.Key()] {
+				t.Fatalf("trial %d: evaluation of unsubmitted candidate %s", trial, ev.Frag.Key())
+			}
+		}
+	}
+}

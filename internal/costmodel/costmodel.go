@@ -1,0 +1,704 @@
+// Package costmodel implements WARLOCK's analytical I/O cost model
+// (paper §3.2, after Stöhr's BTW 2001 model): it predicts, per
+// fragmentation candidate and query class, the number of accessed
+// fragments and pages, the number of physical I/Os for bitmap and fact
+// table access, the total I/O access cost (device busy time, the
+// throughput metric) and the I/O response time (max per-disk load, the
+// parallelism metric).
+//
+// # Model
+//
+// Star queries select one value per referenced dimension attribute (point
+// restrictions, the MDHF evaluation model). For a fragmentation attribute
+// on dimension d at level lf and a query predicate on d at level lq:
+//
+//   - lq <= lf (predicate at or above the fragmentation level): the
+//     selected value covers cf/cq fragment values; every row of a hit
+//     fragment satisfies the predicate (fragment elimination).
+//   - lq > lf (predicate below the fragmentation level): exactly one
+//     fragment value is hit per dimension; within it, a fraction cf/cq of
+//     the rows qualifies.
+//   - Predicates on dimensions without a fragmentation attribute qualify a
+//     1/cq fraction of rows inside every fragment.
+//
+// Qualifying rows inside a hit fragment are located via the planned bitmap
+// join indexes; pages are fetched in prefetch granules, and the expected
+// number of touched granules follows Cardenas' formula at granule
+// granularity: G·(1−(1−1/G)^k) for k qualifying rows over G granules.
+// Predicates whose bitmap index was excluded by the DBA cannot prune pages
+// and degrade the fragment access towards a scan of the hit fragments.
+//
+// Response time is the expectation (over the uniform choice of predicate
+// values) of the maximum per-disk busy time. The expectation is computed
+// exactly by enumerating the distinct hit patterns of the class when their
+// number is tractable, and by deterministic seeded sampling otherwise; the
+// discrete-event simulator (experiment E7) validates both paths.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/bitmap"
+	"repro/internal/disk"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/skew"
+	"repro/internal/workload"
+)
+
+// ErrBadInput reports invalid model inputs.
+var ErrBadInput = errors.New("costmodel: invalid input")
+
+// Config bundles everything the model needs beyond the candidate itself.
+type Config struct {
+	Schema *schema.Star
+	Mix    *workload.Mix
+	Disk   disk.Params
+	// Mapping selects how skewed bottom-level shares aggregate to coarser
+	// levels (see package skew). Default Interleaved.
+	Mapping skew.Mapping
+	// Bitmap planning options (threshold, exclusions).
+	Bitmap bitmap.Options
+	// AllocScheme forces an allocation scheme; nil (default) applies
+	// WARLOCK's rule (round-robin, greedy under notable skew).
+	AllocScheme *alloc.Scheme
+	// SkewCVThreshold is the fragment-size CV above which greedy
+	// allocation is chosen; <= 0 uses alloc.DefaultSkewCV.
+	SkewCVThreshold float64
+	// MaxFragments bounds candidate materialization; <= 0 uses
+	// fragment.MaxFragmentsDefault.
+	MaxFragments int64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Schema == nil || c.Mix == nil {
+		return fmt.Errorf("%w: schema and mix are required", ErrBadInput)
+	}
+	if err := c.Schema.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mix.Validate(c.Schema); err != nil {
+		return err
+	}
+	return c.Disk.Validate()
+}
+
+// ClassCost is the predicted I/O behaviour of one query class under one
+// fragmentation candidate — the rows of the "query analysis" panel
+// (paper Fig. 2).
+type ClassCost struct {
+	// Class is the evaluated query class.
+	Class *workload.Class
+	// Weight is the class's normalized share of the workload.
+	Weight float64
+	// HitProb is the probability that any given fragment is hit.
+	HitProb float64
+	// FragmentsHit is the expected number of accessed fragments.
+	FragmentsHit float64
+	// SelectedRows is the expected number of qualifying fact rows.
+	SelectedRows float64
+	// FactPages is the expected number of fact pages transferred.
+	FactPages float64
+	// FactIOs is the expected number of physical fact-table I/Os.
+	FactIOs float64
+	// BitmapPages is the expected number of bitmap pages transferred.
+	BitmapPages float64
+	// BitmapIOs is the expected number of physical bitmap I/Os.
+	BitmapIOs float64
+	// AccessCost is the expected total device busy time of one query of
+	// this class (all disks, bitmap + fact).
+	AccessCost time.Duration
+	// ResponseTime is the expected intra-query response time: the
+	// expectation of the maximum per-disk busy time under the
+	// candidate's allocation.
+	ResponseTime time.Duration
+	// ResponseExact reports whether ResponseTime was computed by exact
+	// enumeration of hit patterns (vs deterministic sampling).
+	ResponseExact bool
+	// DiskBusy is the expected busy time per disk (the disk access
+	// profile of the class, paper §3.3).
+	DiskBusy []time.Duration
+}
+
+// Evaluation is the full prediction for one fragmentation candidate.
+type Evaluation struct {
+	Frag      *fragment.Fragmentation
+	Geometry  *fragment.Geometry
+	Scheme    *bitmap.Scheme
+	Placement *alloc.Placement
+	// FactPrefetch and BitmapPrefetch are the granules used (configured
+	// or advisor-optimized), in pages.
+	FactPrefetch   int
+	BitmapPrefetch int
+	// PerClass holds one entry per mix class, in mix order.
+	PerClass []ClassCost
+	// AccessCost is the workload-weighted total I/O access cost.
+	AccessCost time.Duration
+	// ResponseTime is the workload-weighted response time.
+	ResponseTime time.Duration
+	// BitmapPagesTotal is the storage footprint of the bitmap scheme.
+	BitmapPagesTotal int64
+	// CapacityOK reports whether fact + bitmap pages fit the disks.
+	CapacityOK bool
+}
+
+// Evaluate runs the full model for one candidate.
+func Evaluate(cfg *Config, f *fragment.Fragmentation) (*Evaluation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := fragment.NewGeometry(cfg.Schema, f, cfg.Disk.PageSize, cfg.Mapping, cfg.MaxFragments)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := bitmap.PlanScheme(cfg.Schema, f, cfg.Mix, cfg.Bitmap)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateWithGeometry(cfg, f, g, scheme)
+}
+
+func evaluateWithGeometry(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (*Evaluation, error) {
+	ev := &Evaluation{Frag: f, Geometry: g, Scheme: scheme}
+	ev.BitmapPagesTotal = scheme.SchemePages(g)
+
+	// Allocation weight: fact pages + co-located bitmap pages per fragment
+	// (bitmap fragmentation exactly follows the fact table fragmentation;
+	// each index's slices are packed per fragment).
+	allocPages := allocationPages(g, scheme)
+	var pl *alloc.Placement
+	var err error
+	if cfg.AllocScheme != nil {
+		pl, err = alloc.Allocate(*cfg.AllocScheme, allocPages, cfg.Disk.Disks)
+	} else {
+		pl, err = alloc.Choose(allocPages, cfg.Disk.Disks, cfg.SkewCVThreshold)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.Placement = pl
+	capacityPages := cfg.Disk.CapacityBytes / int64(cfg.Disk.PageSize)
+	ev.CapacityOK = pl.FitsCapacity(capacityPages)
+
+	// Prefetch granules: configured values win; otherwise the advisor
+	// searches for the granules minimizing the weighted access cost
+	// ("WARLOCK offers the choice to set a fixed value or to determine
+	// itself optimal values for fact tables and bitmaps", §3.1).
+	factSuggest, bmSuggest := optimizeGranules(cfg, f, g, scheme)
+	ev.FactPrefetch = cfg.Disk.EffectivePrefetch(factSuggest)
+	ev.BitmapPrefetch = cfg.Disk.EffectiveBitmapPrefetch(bmSuggest)
+
+	weights := cfg.Mix.NormalizedWeights()
+	ev.PerClass = make([]ClassCost, len(cfg.Mix.Classes))
+	for i := range cfg.Mix.Classes {
+		cc := evaluateClass(cfg, f, g, scheme, pl, &cfg.Mix.Classes[i], ev.FactPrefetch, ev.BitmapPrefetch)
+		cc.Weight = weights[i]
+		ev.PerClass[i] = cc
+		ev.AccessCost += time.Duration(float64(cc.AccessCost) * cc.Weight)
+		ev.ResponseTime += time.Duration(float64(cc.ResponseTime) * cc.Weight)
+	}
+	return ev, nil
+}
+
+// DimCase classifies how one fragmentation attribute interacts with a
+// query class's predicate on the same dimension.
+type DimCase int
+
+const (
+	// Unreferenced: the class has no predicate on the dimension; every
+	// fragment value is hit.
+	Unreferenced DimCase = iota
+	// CoarserEq: the predicate is at or above the fragmentation level;
+	// the selected value covers FragCard/QueryCard fragment values and
+	// every row of a hit fragment qualifies (fragment elimination).
+	CoarserEq
+	// Finer: the predicate is below the fragmentation level; exactly one
+	// fragment value is hit, and FragCard/QueryCard of its rows qualify.
+	Finer
+)
+
+// DimPlan is the per-fragmentation-attribute interaction of a class.
+type DimPlan struct {
+	Case DimCase
+	// FragCard is the cardinality of the fragmentation attribute,
+	// QueryCard the predicate attribute's (0 when Unreferenced).
+	FragCard  int
+	QueryCard int
+}
+
+// ClassPlan is the pre-derived interaction of one query class with one
+// fragmentation and bitmap scheme. It is shared by the analytical model
+// and the discrete-event simulator so both price fragments identically.
+type ClassPlan struct {
+	Class *workload.Class
+	// Dims has one entry per fragmentation attribute, in Attrs() order.
+	Dims []DimPlan
+	// HitProb is the probability any given fragment is hit.
+	HitProb float64
+	// RowSel is the fraction of a hit fragment's rows qualifying overall.
+	RowSel float64
+	// IndexedSel is the part of RowSel the available bitmaps can prune
+	// fact pages with (1 = no pruning possible, hit fragments scanned).
+	IndexedSel float64
+	// ReadSlices is the number of bitmap slices read per hit fragment.
+	ReadSlices int
+}
+
+// PlanClass derives the interaction of a class with a fragmentation:
+// per-attribute behaviour plus the residual selectivity from predicates on
+// non-fragmentation dimensions, split by bitmap availability.
+func PlanClass(s *schema.Star, f *fragment.Fragmentation, scheme *bitmap.Scheme, c *workload.Class) ClassPlan {
+	attrs := f.Attrs()
+	plan := ClassPlan{Class: c, Dims: make([]DimPlan, len(attrs)), HitProb: 1, RowSel: 1, IndexedSel: 1}
+	for i, a := range attrs {
+		dp := DimPlan{Case: Unreferenced, FragCard: s.Cardinality(a)}
+		if p, ok := c.Predicate(a.Dim); ok {
+			dp.QueryCard = s.Cardinality(p)
+			cf := float64(dp.FragCard)
+			cq := float64(dp.QueryCard)
+			if p.Level <= a.Level {
+				dp.Case = CoarserEq
+				plan.HitProb *= 1 / cq
+			} else {
+				dp.Case = Finer
+				plan.HitProb *= 1 / cf
+				sel := cf / cq
+				plan.RowSel *= sel
+				if _, ok := scheme.Index(p); ok {
+					plan.IndexedSel *= sel
+				}
+			}
+		}
+		plan.Dims[i] = dp
+	}
+	for _, p := range c.Predicates {
+		if _, onFrag := f.Attr(p.Dim); onFrag {
+			continue
+		}
+		sel := 1 / float64(s.Cardinality(p))
+		plan.RowSel *= sel
+		if _, ok := scheme.Index(p); ok {
+			plan.IndexedSel *= sel
+		}
+	}
+	for _, p := range c.Predicates {
+		if bitmap.Resolved(f, p) {
+			continue
+		}
+		if ix, ok := scheme.Index(p); ok {
+			plan.ReadSlices += ix.ReadSlices
+		}
+	}
+	return plan
+}
+
+// FragmentIO is the predicted physical I/O of accessing one hit fragment.
+type FragmentIO struct {
+	FactIOs, FactPages     float64
+	BitmapIOs, BitmapPages float64
+}
+
+// FragmentCost prices the access to one hit fragment of `pages` pages and
+// `rows` rows under the plan's selectivities and the given prefetch
+// granules.
+func FragmentCost(plan *ClassPlan, pageSize int, pages int64, rows float64, factGranule, bmGranule int) FragmentIO {
+	var io FragmentIO
+	if pages <= 0 {
+		return io
+	}
+	if plan.IndexedSel >= 1 {
+		io.FactIOs = math.Ceil(float64(pages) / float64(factGranule))
+		io.FactPages = float64(pages)
+	} else {
+		gran := int64(factGranule)
+		G := float64((pages + gran - 1) / gran)
+		touched := granulesTouched(G, rows, plan.IndexedSel)
+		io.FactIOs = touched
+		io.FactPages = touched * float64(gran)
+		if io.FactPages > float64(pages) {
+			io.FactPages = float64(pages)
+		}
+	}
+	if plan.ReadSlices > 0 {
+		slicePages := bitmap.SlicePagesPerFragment(rows, pageSize)
+		if slicePages > 0 {
+			perSliceIOs := math.Ceil(float64(slicePages) / float64(bmGranule))
+			io.BitmapIOs = perSliceIOs * float64(plan.ReadSlices)
+			io.BitmapPages = float64(slicePages) * float64(plan.ReadSlices)
+		}
+	}
+	return io
+}
+
+// Seconds converts the I/O counts into device busy time under the disk
+// parameters.
+func (io FragmentIO) Seconds(d *disk.Params) float64 {
+	pos := d.Positioning().Seconds()
+	xfer := d.PageTransfer().Seconds()
+	return (io.FactIOs+io.BitmapIOs)*pos + (io.FactPages+io.BitmapPages)*xfer
+}
+
+// evaluateClass computes the ClassCost of one class.
+func evaluateClass(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme, pl *alloc.Placement, c *workload.Class, factGranule, bmGranule int) ClassCost {
+	cc := ClassCost{Class: c, DiskBusy: make([]time.Duration, pl.Disks)}
+	plan := PlanClass(cfg.Schema, f, scheme, c)
+	cc.HitProb = plan.HitProb
+	n := g.NumFragments()
+	cc.FragmentsHit = plan.HitProb * float64(n)
+
+	// Per-fragment service time if hit, shared by the expectation terms
+	// below and by the hit-pattern enumeration.
+	tv := make([]float64, n)
+	busy := make([]float64, pl.Disks)
+	var totalBusy float64
+	for v := int64(0); v < n; v++ {
+		rows := g.Rows[v]
+		b := g.Pages[v]
+		if b == 0 {
+			continue
+		}
+		cc.SelectedRows += plan.HitProb * rows * plan.RowSel
+		io := FragmentCost(&plan, g.PageSize, b, rows, factGranule, bmGranule)
+		cc.FactIOs += plan.HitProb * io.FactIOs
+		cc.FactPages += plan.HitProb * io.FactPages
+		cc.BitmapIOs += plan.HitProb * io.BitmapIOs
+		cc.BitmapPages += plan.HitProb * io.BitmapPages
+
+		tv[v] = io.Seconds(&cfg.Disk)
+		w := plan.HitProb * tv[v]
+		busy[pl.DiskOf[v]] += w
+		totalBusy += w
+	}
+	for d, bz := range busy {
+		cc.DiskBusy[d] = time.Duration(bz * float64(time.Second))
+	}
+	cc.AccessCost = time.Duration(totalBusy * float64(time.Second))
+	resp, exact := expectedMaxResponse(cfg, &plan, g, pl, tv)
+	cc.ResponseTime = time.Duration(resp * float64(time.Second))
+	cc.ResponseExact = exact
+	return cc
+}
+
+// Bounds for the exact hit-pattern enumeration; beyond them the response
+// expectation falls back to deterministic seeded sampling.
+const (
+	maxResponseOutcomes = 8192
+	maxResponseWork     = 1 << 22
+	responseSamples     = 256
+)
+
+// Outcomes returns, per fragmentation attribute, the distinct equally
+// likely hit sets the class's predicate induces on that attribute's
+// values, following the configured hierarchy mapping. It is exported for
+// the simulator tests, which cross-check the enumeration against sampled
+// concrete queries.
+func Outcomes(plan *ClassPlan, mapping skew.Mapping) [][][]int {
+	out := make([][][]int, len(plan.Dims))
+	for i, dp := range plan.Dims {
+		switch dp.Case {
+		case CoarserEq:
+			sets := make([][]int, dp.QueryCard)
+			for w := 0; w < dp.QueryCard; w++ {
+				var hit []int
+				for v := 0; v < dp.FragCard; v++ {
+					if Ancestor(v, dp.FragCard, dp.QueryCard, mapping) == w {
+						hit = append(hit, v)
+					}
+				}
+				sets[w] = hit
+			}
+			out[i] = sets
+		case Finer:
+			// Every query value maps to one fragment value; grouping the
+			// cq values by their ancestor yields cf outcomes of equal
+			// probability 1/cf (valid when QueryCard is a multiple of
+			// FragCard; otherwise probabilities differ by O(1/cq) and the
+			// uniform grouping is a close approximation).
+			sets := make([][]int, dp.FragCard)
+			for v := 0; v < dp.FragCard; v++ {
+				sets[v] = []int{v}
+			}
+			out[i] = sets
+		default: // Unreferenced
+			all := make([]int, dp.FragCard)
+			for v := range all {
+				all[v] = v
+			}
+			out[i] = [][]int{all}
+		}
+	}
+	return out
+}
+
+// Ancestor maps a value at a fine level (cardinality fineCard) to its
+// ancestor at a coarse level (cardinality coarseCard), consistently with
+// the skew aggregation mappings (package skew): interleaved folds by
+// modulo, contiguous by proportional ranges.
+func Ancestor(v, fineCard, coarseCard int, m skew.Mapping) int {
+	if coarseCard >= fineCard {
+		return v % coarseCard
+	}
+	if m == skew.Contiguous {
+		return v * coarseCard / fineCard
+	}
+	return v % coarseCard
+}
+
+// expectedMaxResponse computes E[max_disk busy] over the class's equally
+// likely hit patterns: exactly when the outcome space is tractable,
+// otherwise by deterministic sampling. Returns seconds and whether the
+// result is exact.
+func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl *alloc.Placement, tv []float64) (float64, bool) {
+	outcomes := Outcomes(plan, cfg.Mapping)
+	combos := 1
+	hitsPerCombo := 1
+	for _, sets := range outcomes {
+		combos *= len(sets)
+		if len(sets) > 0 {
+			hitsPerCombo *= len(sets[0])
+		}
+		if combos > maxResponseOutcomes {
+			break
+		}
+	}
+	busy := make([]float64, pl.Disks)
+	touched := make([]int, 0, pl.Disks)
+	evalPattern := func(choice []int) float64 {
+		// Enumerate the Cartesian product of the chosen hit sets.
+		sets := make([][]int, len(outcomes))
+		for i, c := range choice {
+			sets[i] = outcomes[i][c]
+		}
+		idx := make([]int, len(sets))
+		vals := make([]int, len(sets))
+		for {
+			for i := range sets {
+				vals[i] = sets[i][idx[i]]
+			}
+			fid := plan.fragID(vals)
+			if busy[pl.DiskOf[fid]] == 0 && tv[fid] > 0 {
+				touched = append(touched, pl.DiskOf[fid])
+			}
+			busy[pl.DiskOf[fid]] += tv[fid]
+			i := len(idx) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(sets[i]) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+		var mx float64
+		for _, d := range touched {
+			if busy[d] > mx {
+				mx = busy[d]
+			}
+			busy[d] = 0
+		}
+		touched = touched[:0]
+		return mx
+	}
+
+	if combos <= maxResponseOutcomes && combos*hitsPerCombo <= maxResponseWork {
+		// Exact: enumerate every outcome combination.
+		choice := make([]int, len(outcomes))
+		var sum float64
+		count := 0
+		for {
+			sum += evalPattern(choice)
+			count++
+			i := len(choice) - 1
+			for ; i >= 0; i-- {
+				choice[i]++
+				if choice[i] < len(outcomes[i]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+		return sum / float64(count), true
+	}
+	// Sampling fallback with a fixed seed for determinism.
+	rng := rand.New(rand.NewSource(1))
+	choice := make([]int, len(outcomes))
+	var sum float64
+	for s := 0; s < responseSamples; s++ {
+		for i := range choice {
+			choice[i] = rng.Intn(len(outcomes[i]))
+		}
+		sum += evalPattern(choice)
+	}
+	return sum / responseSamples, false
+}
+
+// fragID maps fragment-attribute values to the fragment's logical id using
+// the plan's cardinalities (identical to Fragmentation.FragmentID but
+// without re-deriving cardinalities from the schema).
+func (p *ClassPlan) fragID(vals []int) int64 {
+	id := int64(0)
+	for i, dp := range p.Dims {
+		id = id*int64(dp.FragCard) + int64(vals[i])
+	}
+	return id
+}
+
+// granulesTouched returns the expected number of granules holding at
+// least one qualifying row when a fragment of `rows` rows spread evenly
+// over G granules is filtered with per-row qualification probability p:
+//
+//	G · (1 − (1−p)^(rows/G))
+//
+// This is the probability form of the Cardenas estimate. Unlike the
+// count form G(1−(1−1/G)^k) with k = rows·p, it stays correct when the
+// expected qualifying count is below one — e.g. a single-granule fragment
+// probed by a highly selective conjunction is touched with probability
+// 1−(1−p)^rows ≈ rows·p, not with certainty (bug found by the executed-
+// layout validation, experiment E11).
+func granulesTouched(G, rows, p float64) float64 {
+	if G <= 0 || rows <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return G
+	}
+	t := G * (1 - math.Pow(1-p, rows/G))
+	if t > G {
+		t = G
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// cardenas returns the expected number of distinct cells touched when k
+// random rows fall into G equally likely cells: G(1-(1-1/G)^k). Fractional
+// k is supported (expectations compose). Kept for the count-form ablation
+// (see bench/ablation tests); FragmentCost uses granulesTouched.
+func cardenas(G, k float64) float64 {
+	if G <= 0 || k <= 0 {
+		return 0
+	}
+	if G == 1 {
+		return 1
+	}
+	t := G * (1 - math.Pow(1-1/G, k))
+	if t > G {
+		t = G
+	}
+	if t < 1 {
+		// At least one cell is touched once k > 0 rows qualify... for
+		// fractional expected k < 1 the expectation may be below 1; keep
+		// the raw value for unbiased aggregation.
+		return t
+	}
+	return t
+}
+
+// PrefetchCap bounds the advisor-chosen prefetch granule in pages (a
+// 2 MiB prefetch buffer at 8 KiB pages) — larger fixed values may still be
+// configured explicitly.
+const PrefetchCap = 256
+
+// optimizeGranules searches the power-of-two granules up to PrefetchCap
+// for the fact-table and bitmap granules minimizing the workload-weighted
+// access cost on a representative (average-size) fragment. Fact and bitmap
+// costs are independent, so the two searches are separable.
+func optimizeGranules(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (factG, bmG int) {
+	st := g.Stats()
+	avgP := int64(st.AvgPages + 0.5)
+	if avgP < 1 {
+		avgP = 1
+	}
+	avgR := avgRows(g)
+	weights := cfg.Mix.NormalizedWeights()
+	plans := make([]ClassPlan, len(cfg.Mix.Classes))
+	for i := range cfg.Mix.Classes {
+		plans[i] = PlanClass(cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
+	}
+	cost := func(fg, bg int, factPart bool) float64 {
+		var total float64
+		for i := range plans {
+			io := FragmentCost(&plans[i], g.PageSize, avgP, avgR, fg, bg)
+			var part FragmentIO
+			if factPart {
+				part = FragmentIO{FactIOs: io.FactIOs, FactPages: io.FactPages}
+			} else {
+				part = FragmentIO{BitmapIOs: io.BitmapIOs, BitmapPages: io.BitmapPages}
+			}
+			total += weights[i] * plans[i].HitProb * part.Seconds(&cfg.Disk)
+		}
+		return total
+	}
+	pick := func(factPart bool) int {
+		best, bestCost := 1, math.Inf(1)
+		for gr := 1; gr <= PrefetchCap; gr *= 2 {
+			c := cost(gr, gr, factPart)
+			if c < bestCost {
+				best, bestCost = gr, c
+			}
+		}
+		return best
+	}
+	return pick(true), pick(false)
+}
+
+func avgRows(g *fragment.Geometry) float64 {
+	n := g.NumFragments()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range g.Rows {
+		sum += r
+	}
+	return sum / float64(n)
+}
+
+// allocationPages returns the per-fragment allocation weight: fact pages
+// plus the co-located bitmap pages of every index (slices packed per
+// fragment).
+func allocationPages(g *fragment.Geometry, scheme *bitmap.Scheme) []int64 {
+	out := make([]int64, len(g.Pages))
+	for i := range g.Pages {
+		out[i] = g.Pages[i]
+		for _, ix := range scheme.Indexes {
+			out[i] += bitmap.PackedPagesPerFragment(g.Rows[i], ix.Slices, g.PageSize)
+		}
+	}
+	return out
+}
+
+// AllocationPages exposes the per-fragment allocation weight of an
+// evaluation (fact + co-located bitmap pages), used by multi-fact-table
+// co-allocation.
+func AllocationPages(ev *Evaluation) []int64 {
+	return allocationPages(ev.Geometry, ev.Scheme)
+}
+
+// EvaluateAll runs the model over a candidate list, skipping candidates
+// that fail (e.g. exceed MaxFragments) and reporting them.
+func EvaluateAll(cfg *Config, cands []*fragment.Fragmentation) (evals []*Evaluation, failures []error) {
+	for _, f := range cands {
+		ev, err := Evaluate(cfg, f)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("%s: %w", f.Name(cfg.Schema), err))
+			continue
+		}
+		evals = append(evals, ev)
+	}
+	return evals, failures
+}

@@ -1,0 +1,148 @@
+package costmodel
+
+// Model-invariant sweep: every evaluable APB-1 candidate must satisfy the
+// structural inequalities of the cost model, under uniform and skewed
+// data. This is the broadest correctness net over the model.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apb"
+	"repro/internal/fragment"
+)
+
+func sweepConfig(t *testing.T, productTheta float64) *Config {
+	t.Helper()
+	s := apb.SkewedSchema(1_000_000, productTheta, 0)
+	m, err := apb.Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := apb.Disk(16)
+	d.PrefetchPages = 8
+	d.BitmapPrefetchPages = 8
+	return &Config{Schema: s, Mix: m, Disk: d, MaxFragments: 100_000}
+}
+
+func TestModelInvariantsSweep(t *testing.T) {
+	for _, theta := range []float64{0, 0.86} {
+		cfg := sweepConfig(t, theta)
+		checked := 0
+		for _, f := range fragment.Enumerate(cfg.Schema) {
+			if f.NumFragments(cfg.Schema) > 20_000 {
+				continue // keep the sweep fast; count-capped candidates
+			}
+			ev, err := Evaluate(cfg, f)
+			if err != nil {
+				t.Fatalf("theta=%g %s: %v", theta, f.Name(cfg.Schema), err)
+			}
+			checked++
+			validateInvariants(t, cfg, ev, theta)
+		}
+		if checked < 50 {
+			t.Fatalf("theta=%g: only %d candidates checked", theta, checked)
+		}
+	}
+}
+
+func validateInvariants(t *testing.T, cfg *Config, ev *Evaluation, theta float64) {
+	t.Helper()
+	name := ev.Frag.Name(cfg.Schema)
+	n := float64(ev.Geometry.NumFragments())
+	totalPages := float64(ev.Geometry.TotalPages)
+	totalRows := float64(cfg.Schema.Fact.Rows)
+	var weightedAccess, weightedResponse float64
+	for _, cc := range ev.PerClass {
+		// Hit accounting.
+		if cc.FragmentsHit < 0 || cc.FragmentsHit > n+1e-9 {
+			t.Fatalf("%s/%s: FragmentsHit %g out of [0,%g]", name, cc.Class.Name, cc.FragmentsHit, n)
+		}
+		if cc.HitProb < 0 || cc.HitProb > 1+1e-12 {
+			t.Fatalf("%s/%s: HitProb %g", name, cc.Class.Name, cc.HitProb)
+		}
+		// Volume bounds.
+		if cc.FactPages < 0 || cc.FactPages > totalPages+1e-6 {
+			t.Fatalf("%s/%s: FactPages %g > total %g", name, cc.Class.Name, cc.FactPages, totalPages)
+		}
+		if cc.SelectedRows < 0 || cc.SelectedRows > totalRows+1e-6 {
+			t.Fatalf("%s/%s: SelectedRows %g", name, cc.Class.Name, cc.SelectedRows)
+		}
+		// An I/O transfers at least one page; pages require at least one I/O.
+		if cc.FactIOs > cc.FactPages+1e-6 {
+			t.Fatalf("%s/%s: FactIOs %g > FactPages %g", name, cc.Class.Name, cc.FactIOs, cc.FactPages)
+		}
+		if cc.FactPages > 0 && cc.FactIOs <= 0 {
+			t.Fatalf("%s/%s: pages without I/Os", name, cc.Class.Name)
+		}
+		if cc.BitmapIOs > cc.BitmapPages+1e-6 {
+			t.Fatalf("%s/%s: BitmapIOs %g > BitmapPages %g", name, cc.Class.Name, cc.BitmapIOs, cc.BitmapPages)
+		}
+		// Timing brackets: max-of-expectation <= E[max] <= E[sum].
+		var sum, maxD time.Duration
+		for _, db := range cc.DiskBusy {
+			sum += db
+			if db > maxD {
+				maxD = db
+			}
+		}
+		// The brackets are exact for enumerated hit patterns; the
+		// sampling fallback carries Monte-Carlo noise.
+		slack := 1e-6
+		if !cc.ResponseExact {
+			slack = 0.05
+		}
+		if float64(cc.ResponseTime) < float64(maxD)*(1-slack)-1 {
+			t.Fatalf("%s/%s: response %v < max disk busy %v", name, cc.Class.Name, cc.ResponseTime, maxD)
+		}
+		if float64(cc.ResponseTime) > float64(cc.AccessCost)*(1+slack)+1 {
+			t.Fatalf("%s/%s: response %v > access %v", name, cc.Class.Name, cc.ResponseTime, cc.AccessCost)
+		}
+		if relGap(float64(sum), float64(cc.AccessCost)) > 1e-5 {
+			t.Fatalf("%s/%s: disk busy sum %v != access %v", name, cc.Class.Name, sum, cc.AccessCost)
+		}
+		weightedAccess += cc.Weight * float64(cc.AccessCost)
+		weightedResponse += cc.Weight * float64(cc.ResponseTime)
+	}
+	// Aggregates are the weighted sums of the per-class metrics.
+	if relGap(weightedAccess, float64(ev.AccessCost)) > 1e-5 {
+		t.Fatalf("%s: weighted access mismatch", name)
+	}
+	if relGap(weightedResponse, float64(ev.ResponseTime)) > 1e-5 {
+		t.Fatalf("%s: weighted response mismatch", name)
+	}
+	// Placement covers every fragment with a valid disk.
+	if len(ev.Placement.DiskOf) != int(n) {
+		t.Fatalf("%s: placement covers %d of %g fragments", name, len(ev.Placement.DiskOf), n)
+	}
+	for _, d := range ev.Placement.DiskOf {
+		if d < 0 || d >= cfg.Disk.Disks {
+			t.Fatalf("%s: disk %d out of range", name, d)
+		}
+	}
+	if ev.BitmapPagesTotal < 0 {
+		t.Fatalf("%s: negative bitmap pages", name)
+	}
+	if ev.FactPrefetch < 1 || ev.BitmapPrefetch < 1 {
+		t.Fatalf("%s: prefetch %d/%d", name, ev.FactPrefetch, ev.BitmapPrefetch)
+	}
+	_ = theta
+}
+
+func relGap(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / m
+}

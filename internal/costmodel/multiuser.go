@@ -1,0 +1,77 @@
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrSaturated is returned when the offered load meets or exceeds the
+// bottleneck disk's capacity.
+var ErrSaturated = errors.New("costmodel: arrival rate saturates the bottleneck disk")
+
+// MultiUserEstimate approximates the mean response time of an open
+// multi-user system (Poisson arrivals at ratePerSec) on top of the
+// single-user expectation, using a queueing correction per disk:
+//
+//	ρ_d = λ · E[busy seconds query puts on disk d]
+//	ρ   = max_d ρ_d                         (bottleneck utilization)
+//	R   ≈ R_single / (1 − ρ)                (M/M/1-style slowdown)
+//
+// The paper's twofold metric treats total I/O cost as the multi-user
+// throughput proxy ("advantageous with respect to multi-user query
+// processing", §3.2); this estimate makes the proxy quantitative and is
+// checked against the discrete-event simulator in experiment E12.
+//
+// Returns the estimated mean response and the bottleneck utilization.
+func MultiUserEstimate(ev *Evaluation, ratePerSec float64) (time.Duration, float64, error) {
+	if ratePerSec <= 0 {
+		return 0, 0, fmt.Errorf("%w: rate %g", ErrBadInput, ratePerSec)
+	}
+	if ev == nil || ev.Placement == nil {
+		return 0, 0, fmt.Errorf("%w: nil evaluation", ErrBadInput)
+	}
+	disks := ev.Placement.Disks
+	perDisk := make([]float64, disks)
+	for _, cc := range ev.PerClass {
+		for d, busy := range cc.DiskBusy {
+			perDisk[d] += cc.Weight * busy.Seconds()
+		}
+	}
+	var rho float64
+	for _, b := range perDisk {
+		if u := ratePerSec * b; u > rho {
+			rho = u
+		}
+	}
+	if rho >= 1 {
+		return 0, rho, fmt.Errorf("%w: utilization %.2f at %g q/s", ErrSaturated, rho, ratePerSec)
+	}
+	est := time.Duration(float64(ev.ResponseTime) / (1 - rho))
+	return est, rho, nil
+}
+
+// SaturationRate returns the arrival rate (queries/second) at which the
+// bottleneck disk reaches full utilization — the candidate's maximum
+// sustainable multi-user throughput under the model.
+func SaturationRate(ev *Evaluation) float64 {
+	if ev == nil || ev.Placement == nil {
+		return 0
+	}
+	perDisk := make([]float64, ev.Placement.Disks)
+	for _, cc := range ev.PerClass {
+		for d, busy := range cc.DiskBusy {
+			perDisk[d] += cc.Weight * busy.Seconds()
+		}
+	}
+	var maxBusy float64
+	for _, b := range perDisk {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	if maxBusy <= 0 {
+		return 0
+	}
+	return 1 / maxBusy
+}

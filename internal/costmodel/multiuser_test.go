@@ -1,0 +1,86 @@
+package costmodel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func muEval(t *testing.T) (*Config, *Evaluation) {
+	t.Helper()
+	s := testStar()
+	a1, err := s.Attr("A.a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &workload.Mix{Classes: []workload.Class{
+		{Name: "Q", Predicates: []schema.AttrRef{a1}, Weight: 1},
+	}}
+	cfg := cfgWith(t, s, m)
+	f, err := fragment.Parse(s, "A.a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, ev
+}
+
+func TestMultiUserEstimateErrors(t *testing.T) {
+	_, ev := muEval(t)
+	if _, _, err := MultiUserEstimate(ev, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("rate 0: %v", err)
+	}
+	if _, _, err := MultiUserEstimate(nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil: %v", err)
+	}
+	sat := SaturationRate(ev)
+	if sat <= 0 {
+		t.Fatalf("saturation rate = %g", sat)
+	}
+	if _, _, err := MultiUserEstimate(ev, sat*1.01); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("above saturation: %v", err)
+	}
+}
+
+func TestMultiUserEstimateShape(t *testing.T) {
+	_, ev := muEval(t)
+	sat := SaturationRate(ev)
+	var prev time.Duration
+	for i, frac := range []float64{0.1, 0.3, 0.6, 0.9} {
+		est, rho, err := MultiUserEstimate(ev, frac*sat)
+		if err != nil {
+			t.Fatalf("frac %g: %v", frac, err)
+		}
+		if rho < frac*0.99 || rho > frac*1.01 {
+			t.Fatalf("frac %g: rho %g", frac, rho)
+		}
+		if est < ev.ResponseTime {
+			t.Fatalf("estimate %v below single-user %v", est, ev.ResponseTime)
+		}
+		if i > 0 && est <= prev {
+			t.Fatal("estimate should grow with load")
+		}
+		prev = est
+	}
+	// Near zero load the estimate approaches the single-user response.
+	est, _, err := MultiUserEstimate(ev, sat*0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(est) > 1.05*float64(ev.ResponseTime) {
+		t.Fatalf("light-load estimate %v too far above %v", est, ev.ResponseTime)
+	}
+}
+
+func TestSaturationRateEmpty(t *testing.T) {
+	if SaturationRate(nil) != 0 {
+		t.Fatal("nil evaluation")
+	}
+}

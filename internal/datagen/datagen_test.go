@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/skew"
+)
+
+func genStar(theta float64) *schema.Star {
+	return &schema.Star{
+		Name: "G",
+		Fact: schema.FactTable{Name: "F", Rows: 1000, RowSize: 100},
+		Dimensions: []schema.Dimension{
+			{Name: "A", SkewTheta: theta, Levels: []schema.Level{
+				{Name: "a1", Cardinality: 4},
+				{Name: "a2", Cardinality: 100},
+			}},
+			{Name: "B", Levels: []schema.Level{
+				{Name: "b1", Cardinality: 10},
+			}},
+		},
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil schema: %v", err)
+	}
+	bad := genStar(0)
+	bad.Fact.Rows = 0
+	if _, err := New(bad, 1); err == nil {
+		t.Fatal("invalid schema should fail")
+	}
+}
+
+func TestRowsShape(t *testing.T) {
+	g, err := New(genStar(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := g.Rows(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Dims) != 2 {
+			t.Fatalf("dims = %v", r.Dims)
+		}
+		if r.Dims[0] < 0 || r.Dims[0] >= 100 || r.Dims[1] < 0 || r.Dims[1] >= 10 {
+			t.Fatalf("value out of range: %v", r.Dims)
+		}
+		if r.Measure < 0 || r.Measure > 100 {
+			t.Fatalf("measure out of range: %g", r.Measure)
+		}
+	}
+	if _, err := g.Rows(-1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("n<0: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(genStar(0.5), 11)
+	b, _ := New(genStar(0.5), 11)
+	ra, _ := a.Rows(100)
+	rb, _ := b.Rows(100)
+	for i := range ra {
+		if ra[i].Dims[0] != rb[i].Dims[0] || ra[i].Measure != rb[i].Measure {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestSkewMatchesShares(t *testing.T) {
+	g, err := New(genStar(1.0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	counts := make([]float64, 100)
+	for i := 0; i < n; i++ {
+		counts[g.Row().Dims[0]]++
+	}
+	shares := skew.MustShares(100, 1.0)
+	for v := 0; v < 10; v++ { // the hot head carries the statistical power
+		got := counts[v] / n
+		if math.Abs(got-shares[v]) > 0.01 {
+			t.Fatalf("value %d: empirical %g vs share %g", v, got, shares[v])
+		}
+	}
+	// Uniform dimension stays uniform.
+	bCounts := make([]float64, 10)
+	g2, _ := New(genStar(0), 3)
+	for i := 0; i < 50_000; i++ {
+		bCounts[g2.Row().Dims[1]]++
+	}
+	for v, c := range bCounts {
+		if math.Abs(c/50_000-0.1) > 0.01 {
+			t.Fatalf("B value %d share %g, want 0.1", v, c/50_000)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package fragment
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// RangedDesign derives the general MDHF range fragmentation (attribute
+// range size >= 1) from the point machinery. WARLOCK itself limits the
+// evaluation space to point fragmentations (paper §3.2: "attribute range
+// size = 1, which keeps enough potential to achieve a sufficient number of
+// fragments"); this extension reproduces the general strategy so the
+// restriction can be evaluated (experiment E13).
+//
+// A range size r on attribute (dim, level) groups r consecutive attribute
+// values per fragment. That is equivalent to a POINT fragmentation on a
+// virtual hierarchy level of cardinality ceil(card/r): since both the
+// nested hierarchies and the ranges partition value ids contiguously, the
+// virtual level slots into the hierarchy at the position where its
+// cardinality keeps the level cardinalities monotone. Predicates on
+// levels whose cardinality falls between the group count and the
+// attribute's cardinality interact with the ranges only approximately
+// (group boundaries need not align) — the usual price of range
+// fragmentation in an analytical model. RangedDesign returns
+//
+//   - a derived schema with the virtual levels inserted,
+//   - the query mix remapped onto the derived schema (level indices of
+//     attributes at or below an insertion point shift down), and
+//   - the equivalent point fragmentation on the virtual levels.
+//
+// Evaluating the returned triple with the ordinary pipeline yields the
+// range fragmentation's cost. ranges[i] == 1 keeps attribute i untouched.
+func RangedDesign(s *schema.Star, m *workload.Mix, attrs []schema.AttrRef, ranges []int) (*schema.Star, *workload.Mix, *Fragmentation, error) {
+	if len(attrs) == 0 || len(attrs) != len(ranges) {
+		return nil, nil, nil, fmt.Errorf("%w: %d attrs, %d ranges", ErrBadAttr, len(attrs), len(ranges))
+	}
+	for i, a := range attrs {
+		if err := s.CheckAttr(a); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %v", ErrBadAttr, err)
+		}
+		if ranges[i] < 1 {
+			return nil, nil, nil, fmt.Errorf("%w: range %d on %s", ErrBadAttr, ranges[i], s.AttrName(a))
+		}
+		if ranges[i] > s.Cardinality(a) {
+			return nil, nil, nil, fmt.Errorf("%w: range %d exceeds cardinality of %s", ErrBadAttr, ranges[i], s.AttrName(a))
+		}
+		for j := 0; j < i; j++ {
+			if attrs[j].Dim == a.Dim {
+				return nil, nil, nil, fmt.Errorf("%w (dimension %q)", ErrDuplicateDim, s.Dimensions[a.Dim].Name)
+			}
+		}
+	}
+
+	derived := s.Clone()
+	// inserted[d] = level index in dimension d before which a virtual
+	// level was inserted (-1 = none). At most one per dimension.
+	inserted := make([]int, len(s.Dimensions))
+	for d := range inserted {
+		inserted[d] = -1
+	}
+	fragAttrs := make([]schema.AttrRef, len(attrs))
+	for i, a := range attrs {
+		r := ranges[i]
+		if r == 1 {
+			fragAttrs[i] = a
+			continue
+		}
+		dim := &derived.Dimensions[a.Dim]
+		card := dim.Levels[a.Level].Cardinality
+		groups := (card + r - 1) / r
+		virtual := schema.Level{
+			Name:        fmt.Sprintf("%s[r%d]", dim.Levels[a.Level].Name, r),
+			Cardinality: groups,
+		}
+		// Insert at the position keeping cardinalities non-decreasing:
+		// the first level with cardinality >= groups (always <= a.Level
+		// since groups <= card).
+		pos := a.Level
+		for pos > 0 && dim.Levels[pos-1].Cardinality > groups {
+			pos--
+		}
+		dim.Levels = append(dim.Levels, schema.Level{})
+		copy(dim.Levels[pos+1:], dim.Levels[pos:])
+		dim.Levels[pos] = virtual
+		inserted[a.Dim] = pos
+		fragAttrs[i] = schema.AttrRef{Dim: a.Dim, Level: pos}
+	}
+	if err := derived.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("fragment: derived schema invalid: %v", err)
+	}
+
+	// Remap the mix: predicates at or below an insertion point shift +1.
+	remapped := m.Clone()
+	for ci := range remapped.Classes {
+		for pi := range remapped.Classes[ci].Predicates {
+			p := &remapped.Classes[ci].Predicates[pi]
+			if ins := inserted[p.Dim]; ins >= 0 && p.Level >= ins {
+				p.Level++
+			}
+		}
+	}
+	if err := remapped.Validate(derived); err != nil {
+		return nil, nil, nil, fmt.Errorf("fragment: remapped mix invalid: %v", err)
+	}
+
+	f, err := New(derived, fragAttrs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return derived, remapped, f, nil
+}

@@ -1,0 +1,149 @@
+package fragment
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func rangedMix(t *testing.T, s *schema.Star) *workload.Mix {
+	t.Helper()
+	class, err := s.Attr("Product.class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	month, err := s.Attr("Time.month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := s.Attr("Product.code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &workload.Mix{Classes: []workload.Class{
+		{Name: "Q1", Predicates: []schema.AttrRef{class, month}, Weight: 2},
+		{Name: "Q2", Predicates: []schema.AttrRef{code}, Weight: 1},
+	}}
+}
+
+func TestRangedDesignPointIdentity(t *testing.T) {
+	s := testStar()
+	m := rangedMix(t, s)
+	a, _ := s.Attr("Product.class")
+	ds, dm, f, err := RangedDesign(s, m, []schema.AttrRef{a}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range 1: nothing inserted, mix unchanged.
+	if len(ds.Dimensions[0].Levels) != len(s.Dimensions[0].Levels) {
+		t.Fatal("range 1 should not insert levels")
+	}
+	if f.NumFragments(ds) != 605 {
+		t.Fatalf("fragments = %d", f.NumFragments(ds))
+	}
+	if dm.Classes[0].Predicates[0] != m.Classes[0].Predicates[0] {
+		t.Fatal("mix remapped without insertion")
+	}
+}
+
+func TestRangedDesignInsertsVirtualLevel(t *testing.T) {
+	s := testStar()
+	m := rangedMix(t, s)
+	a, _ := s.Attr("Product.class") // card 605, level 4
+	ds, dm, f, err := RangedDesign(s, m, []schema.AttrRef{a}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(605/4) = 152 groups.
+	if got := f.NumFragments(ds); got != 152 {
+		t.Fatalf("fragments = %d, want 152", got)
+	}
+	// The virtual level (152 groups) slots between family(75) and
+	// group(250) to keep cardinalities monotone; class/code shift down.
+	if ds.Dimensions[0].Levels[3].Name != "class[r4]" || ds.Dimensions[0].Levels[3].Cardinality != 152 {
+		t.Fatalf("virtual level = %+v", ds.Dimensions[0].Levels[3])
+	}
+	if ds.Dimensions[0].Levels[4].Name != "group" || ds.Dimensions[0].Levels[5].Name != "class" || ds.Dimensions[0].Levels[6].Name != "code" {
+		t.Fatalf("shifted levels wrong: %+v", ds.Dimensions[0].Levels[3:])
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("derived schema invalid: %v", err)
+	}
+	// Q1's class predicate now references the shifted level (5); its
+	// month predicate is untouched; Q2's code predicate shifted to 6.
+	if dm.Classes[0].Predicates[0].Level != 5 {
+		t.Fatalf("class predicate level = %d", dm.Classes[0].Predicates[0].Level)
+	}
+	if dm.Classes[0].Predicates[1] != m.Classes[0].Predicates[1] {
+		t.Fatal("Time predicate should be untouched")
+	}
+	if dm.Classes[1].Predicates[0].Level != 6 {
+		t.Fatalf("code predicate level = %d", dm.Classes[1].Predicates[0].Level)
+	}
+	if err := dm.Validate(ds); err != nil {
+		t.Fatalf("remapped mix invalid: %v", err)
+	}
+	// The fragmentation's attribute is the virtual level: the class
+	// predicate is now strictly finer — NOT resolved by elimination,
+	// exactly the range-fragmentation semantics.
+	fa, ok := f.Attr(0)
+	if !ok || fa.Level != 3 {
+		t.Fatalf("fragmentation attr = %+v", fa)
+	}
+}
+
+func TestRangedDesignMultiDim(t *testing.T) {
+	s := testStar()
+	m := rangedMix(t, s)
+	class, _ := s.Attr("Product.class")
+	month, _ := s.Attr("Time.month")
+	ds, _, f, err := RangedDesign(s, m, []schema.AttrRef{class, month}, []int{8, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(605/8)=76 groups x ceil(24/3)=8 groups.
+	if got := f.NumFragments(ds); got != 76*8 {
+		t.Fatalf("fragments = %d, want %d", got, 76*8)
+	}
+}
+
+func TestRangedDesignErrors(t *testing.T) {
+	s := testStar()
+	m := rangedMix(t, s)
+	a, _ := s.Attr("Product.class")
+	if _, _, _, err := RangedDesign(s, m, nil, nil); !errors.Is(err, ErrBadAttr) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, _, _, err := RangedDesign(s, m, []schema.AttrRef{a}, []int{0}); !errors.Is(err, ErrBadAttr) {
+		t.Fatalf("range 0: %v", err)
+	}
+	if _, _, _, err := RangedDesign(s, m, []schema.AttrRef{a}, []int{606}); !errors.Is(err, ErrBadAttr) {
+		t.Fatalf("range > card: %v", err)
+	}
+	if _, _, _, err := RangedDesign(s, m, []schema.AttrRef{{Dim: 9}}, []int{1}); !errors.Is(err, ErrBadAttr) {
+		t.Fatalf("bad attr: %v", err)
+	}
+	code, _ := s.Attr("Product.code")
+	if _, _, _, err := RangedDesign(s, m, []schema.AttrRef{a, code}, []int{2, 2}); !errors.Is(err, ErrDuplicateDim) {
+		t.Fatalf("dup dim: %v", err)
+	}
+}
+
+func TestRangedDesignOriginalUntouched(t *testing.T) {
+	s := testStar()
+	m := rangedMix(t, s)
+	a, _ := s.Attr("Product.class")
+	before := len(s.Dimensions[0].Levels)
+	_, _, _, err := RangedDesign(s, m, []schema.AttrRef{a}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dimensions[0].Levels) != before {
+		t.Fatal("original schema mutated")
+	}
+	if m.Classes[0].Predicates[0].Level != 4 {
+		t.Fatal("original mix mutated")
+	}
+}

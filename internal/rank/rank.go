@@ -1,0 +1,142 @@
+// Package rank implements WARLOCK's twofold ranking heuristic (paper
+// §3.2): throughput and response-time goals often contradict, so the tool
+// prefers fragmentations reducing overall I/O requirements — it first
+// orders all candidates by total I/O access cost for the query mix, then
+// re-ranks the leading X% by the overall I/O response time they achieve,
+// and presents the resulting top fragmentations to the user.
+package rank
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+)
+
+// ErrNoCandidates is returned when there is nothing to rank.
+var ErrNoCandidates = errors.New("rank: no candidates")
+
+// Options controls the twofold ranking.
+type Options struct {
+	// LeadingPercent is the X% of candidates (by I/O access cost) that
+	// advance to response-time re-ranking. <= 0 uses DefaultLeadingPercent.
+	LeadingPercent float64
+	// MinLeading floors the leading set size so tiny candidate lists
+	// still compare several alternatives. <= 0 uses DefaultMinLeading.
+	MinLeading int
+	// TopN truncates the final list; 0 keeps the whole leading set.
+	TopN int
+	// RequireCapacity drops candidates whose allocation does not fit the
+	// configured disk capacity.
+	RequireCapacity bool
+}
+
+// Defaults for Options.
+const (
+	DefaultLeadingPercent = 10.0
+	DefaultMinLeading     = 5
+)
+
+// Ranked is one candidate with its positions in both orderings.
+type Ranked struct {
+	Eval *costmodel.Evaluation
+	// CostRank is the 1-based position in the I/O access cost ordering
+	// over all (capacity-feasible) candidates.
+	CostRank int
+	// ResponseRank is the 1-based position in the response-time
+	// re-ranking of the leading set.
+	ResponseRank int
+}
+
+// Rank applies the twofold heuristic and returns the final ranked list
+// (best compromise first).
+func Rank(evals []*costmodel.Evaluation, opts Options) ([]Ranked, error) {
+	pct := opts.LeadingPercent
+	if pct <= 0 {
+		pct = DefaultLeadingPercent
+	}
+	minLead := opts.MinLeading
+	if minLead <= 0 {
+		minLead = DefaultMinLeading
+	}
+	pool := make([]*costmodel.Evaluation, 0, len(evals))
+	for _, e := range evals {
+		if opts.RequireCapacity && !e.CapacityOK {
+			continue
+		}
+		pool = append(pool, e)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("%w (input %d, after capacity filter 0)", ErrNoCandidates, len(evals))
+	}
+
+	// Phase 1: order by total I/O access cost (ties: response time, then
+	// candidate key for determinism).
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].AccessCost != pool[j].AccessCost {
+			return pool[i].AccessCost < pool[j].AccessCost
+		}
+		if pool[i].ResponseTime != pool[j].ResponseTime {
+			return pool[i].ResponseTime < pool[j].ResponseTime
+		}
+		return pool[i].Frag.Key() < pool[j].Frag.Key()
+	})
+	costRank := make(map[string]int, len(pool))
+	for i, e := range pool {
+		costRank[e.Frag.Key()] = i + 1
+	}
+
+	// Leading X%.
+	lead := int(float64(len(pool))*pct/100 + 0.999999)
+	if lead < minLead {
+		lead = minLead
+	}
+	if lead > len(pool) {
+		lead = len(pool)
+	}
+	leading := append([]*costmodel.Evaluation(nil), pool[:lead]...)
+
+	// Phase 2: re-rank the leading set by response time.
+	sort.SliceStable(leading, func(i, j int) bool {
+		if leading[i].ResponseTime != leading[j].ResponseTime {
+			return leading[i].ResponseTime < leading[j].ResponseTime
+		}
+		if leading[i].AccessCost != leading[j].AccessCost {
+			return leading[i].AccessCost < leading[j].AccessCost
+		}
+		return leading[i].Frag.Key() < leading[j].Frag.Key()
+	})
+	if opts.TopN > 0 && opts.TopN < len(leading) {
+		leading = leading[:opts.TopN]
+	}
+	out := make([]Ranked, len(leading))
+	for i, e := range leading {
+		out[i] = Ranked{Eval: e, CostRank: costRank[e.Frag.Key()], ResponseRank: i + 1}
+	}
+	return out, nil
+}
+
+// ParetoFront returns the candidates not dominated in the (access cost,
+// response time) plane: no other candidate is at least as good in both
+// metrics and strictly better in one. The front exposes the throughput/
+// response-time trade-off the twofold heuristic navigates (experiment E9).
+// Results are ordered by increasing access cost.
+func ParetoFront(evals []*costmodel.Evaluation) []*costmodel.Evaluation {
+	pool := append([]*costmodel.Evaluation(nil), evals...)
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].AccessCost != pool[j].AccessCost {
+			return pool[i].AccessCost < pool[j].AccessCost
+		}
+		return pool[i].ResponseTime < pool[j].ResponseTime
+	})
+	var front []*costmodel.Evaluation
+	best := int64(1<<63 - 1)
+	for _, e := range pool {
+		if int64(e.ResponseTime) < best {
+			front = append(front, e)
+			best = int64(e.ResponseTime)
+		}
+	}
+	return front
+}

@@ -1,0 +1,168 @@
+package rank
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+)
+
+// mkEval fabricates an evaluation with the given metrics; the schema gives
+// fragmentations distinct keys.
+func mkEval(t *testing.T, s *schema.Star, level int, access, response time.Duration, capOK bool) *costmodel.Evaluation {
+	t.Helper()
+	f, err := fragment.New(s, schema.AttrRef{Dim: 0, Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &costmodel.Evaluation{Frag: f, AccessCost: access, ResponseTime: response, CapacityOK: capOK}
+}
+
+func rankStar() *schema.Star {
+	levels := make([]schema.Level, 20)
+	for i := range levels {
+		levels[i] = schema.Level{Name: string(rune('a' + i)), Cardinality: i + 1}
+	}
+	return &schema.Star{
+		Name:       "R",
+		Fact:       schema.FactTable{Name: "F", Rows: 1000, RowSize: 10},
+		Dimensions: []schema.Dimension{{Name: "D", Levels: levels}},
+	}
+}
+
+func TestRankEmpty(t *testing.T) {
+	if _, err := Rank(nil, Options{}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRankTwofold(t *testing.T) {
+	s := rankStar()
+	// 10 candidates. Access cost grows with index; response time is the
+	// reverse, so the cheapest-I/O candidates have the worst response.
+	evals := make([]*costmodel.Evaluation, 10)
+	for i := range evals {
+		evals[i] = mkEval(t, s, i,
+			time.Duration(i+1)*time.Second,
+			time.Duration(10-i)*time.Second, true)
+	}
+	got, err := Rank(evals, Options{LeadingPercent: 50, MinLeading: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leading 50% = 5 cheapest-I/O candidates (levels 0..4, response
+	// 10..6s); re-ranked by response → level 4 (6s) first.
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	if got[0].Eval.Frag.Key() != "0:4" {
+		t.Fatalf("winner = %s, want 0:4", got[0].Eval.Frag.Key())
+	}
+	if got[0].CostRank != 5 || got[0].ResponseRank != 1 {
+		t.Fatalf("ranks = %d/%d", got[0].CostRank, got[0].ResponseRank)
+	}
+	// Last of the leading set is the I/O-cheapest but slowest candidate.
+	if got[4].Eval.Frag.Key() != "0:0" || got[4].CostRank != 1 {
+		t.Fatalf("tail = %s rank %d", got[4].Eval.Frag.Key(), got[4].CostRank)
+	}
+}
+
+func TestRankTopN(t *testing.T) {
+	s := rankStar()
+	evals := make([]*costmodel.Evaluation, 10)
+	for i := range evals {
+		evals[i] = mkEval(t, s, i, time.Duration(i+1)*time.Second, time.Second, true)
+	}
+	got, err := Rank(evals, Options{LeadingPercent: 100, TopN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("TopN: len = %d", len(got))
+	}
+}
+
+func TestRankMinLeadingFloor(t *testing.T) {
+	s := rankStar()
+	evals := make([]*costmodel.Evaluation, 10)
+	for i := range evals {
+		evals[i] = mkEval(t, s, i, time.Duration(i+1)*time.Second, time.Duration(10-i)*time.Second, true)
+	}
+	// 10% of 10 = 1, but the default floor of 5 applies.
+	got, err := Rank(evals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("default floor: len = %d, want 5", len(got))
+	}
+}
+
+func TestRankCapacityFilter(t *testing.T) {
+	s := rankStar()
+	evals := []*costmodel.Evaluation{
+		mkEval(t, s, 0, time.Second, time.Second, false),
+		mkEval(t, s, 1, 2*time.Second, time.Second, true),
+	}
+	got, err := Rank(evals, Options{RequireCapacity: true, MinLeading: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Eval.Frag.Key() != "0:1" {
+		t.Fatalf("capacity filter failed: %+v", got)
+	}
+	// All infeasible -> error.
+	if _, err := Rank(evals[:1], Options{RequireCapacity: true}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("got %v", err)
+	}
+	// Without the flag the infeasible one may rank.
+	got, err = Rank(evals, Options{MinLeading: 1, LeadingPercent: 100})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("unfiltered: %v %v", got, err)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	s := rankStar()
+	evals := []*costmodel.Evaluation{
+		mkEval(t, s, 3, time.Second, time.Second, true),
+		mkEval(t, s, 1, time.Second, time.Second, true),
+		mkEval(t, s, 2, time.Second, time.Second, true),
+	}
+	got, err := Rank(evals, Options{LeadingPercent: 100, MinLeading: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Eval.Frag.Key() != "0:1" || got[1].Eval.Frag.Key() != "0:2" || got[2].Eval.Frag.Key() != "0:3" {
+		t.Fatalf("tie break not by key: %s %s %s",
+			got[0].Eval.Frag.Key(), got[1].Eval.Frag.Key(), got[2].Eval.Frag.Key())
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	s := rankStar()
+	evals := []*costmodel.Evaluation{
+		mkEval(t, s, 0, 1*time.Second, 10*time.Second, true), // front
+		mkEval(t, s, 1, 2*time.Second, 12*time.Second, true), // dominated by 0
+		mkEval(t, s, 2, 3*time.Second, 5*time.Second, true),  // front
+		mkEval(t, s, 3, 4*time.Second, 5*time.Second, true),  // dominated by 2
+		mkEval(t, s, 4, 5*time.Second, 1*time.Second, true),  // front
+	}
+	front := ParetoFront(evals)
+	if len(front) != 3 {
+		keys := make([]string, len(front))
+		for i, e := range front {
+			keys[i] = e.Frag.Key()
+		}
+		t.Fatalf("front = %v", keys)
+	}
+	if front[0].Frag.Key() != "0:0" || front[1].Frag.Key() != "0:2" || front[2].Frag.Key() != "0:4" {
+		t.Fatalf("front order wrong: %s %s %s", front[0].Frag.Key(), front[1].Frag.Key(), front[2].Frag.Key())
+	}
+	if got := ParetoFront(nil); got != nil {
+		t.Fatalf("empty front = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// E12 core assertion: the analytical multi-user estimate tracks the
+// simulated open system within a factor band at moderate utilization.
+// (The estimate is an M/M/1-style bound on the bottleneck disk; FIFO
+// batch service in the simulator deviates, but the shape — slowdown
+// exploding towards saturation — must match.)
+func TestMultiUserEstimateTracksSimulation(t *testing.T) {
+	cfg := simCfg(t, "A.a1", "B.b1")
+	ev := evalFrag(t, cfg, "A.a2")
+	sat := costmodel.SaturationRate(ev)
+	if sat <= 0 {
+		t.Fatalf("saturation rate %g", sat)
+	}
+	type point struct {
+		frac    float64
+		simMs   float64
+		estMs   float64
+		slowSim float64
+	}
+	var pts []point
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		rate := frac * sat
+		est, _, err := costmodel.MultiUserEstimate(ev, rate)
+		if err != nil {
+			t.Fatalf("frac %g: %v", frac, err)
+		}
+		m, err := MultiUser(cfg, ev, 600, rate, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{
+			frac:    frac,
+			simMs:   float64(m.MeanResponse) / 1e6,
+			estMs:   float64(est) / 1e6,
+			slowSim: float64(m.MeanResponse) / float64(ev.ResponseTime),
+		})
+	}
+	// Both must grow with load.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].simMs <= pts[i-1].simMs {
+			t.Fatalf("simulated response not growing: %+v", pts)
+		}
+		if pts[i].estMs <= pts[i-1].estMs {
+			t.Fatalf("estimate not growing: %+v", pts)
+		}
+	}
+	// At every load point the estimate stays within a 3x band of the
+	// simulation (both directions).
+	for _, p := range pts {
+		ratio := p.estMs / p.simMs
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Fatalf("frac %.1f: estimate %.1fms vs sim %.1fms (ratio %.2f)",
+				p.frac, p.estMs, p.simMs, ratio)
+		}
+	}
+	// High load must visibly slow the simulated system down.
+	if pts[len(pts)-1].slowSim < 1.3 {
+		t.Fatalf("80%% utilization should slow responses: slowdown %.2f", pts[len(pts)-1].slowSim)
+	}
+}

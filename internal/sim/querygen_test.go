@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func simStar() *schema.Star {
+	return &schema.Star{
+		Name: "T",
+		Fact: schema.FactTable{Name: "F", Rows: 1 << 20, RowSize: 128},
+		Dimensions: []schema.Dimension{
+			{Name: "A", Levels: []schema.Level{
+				{Name: "a1", Cardinality: 4},
+				{Name: "a2", Cardinality: 16},
+			}},
+			{Name: "B", Levels: []schema.Level{
+				{Name: "b1", Cardinality: 8},
+			}},
+		},
+	}
+}
+
+func simCfg(t *testing.T, mixAttrs ...string) *costmodel.Config {
+	t.Helper()
+	s := simStar()
+	classes := make([]workload.Class, len(mixAttrs))
+	for i, path := range mixAttrs {
+		a, err := s.Attr(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[i] = workload.Class{Name: path, Predicates: []schema.AttrRef{a}, Weight: 1}
+	}
+	d := disk.Default2001()
+	d.Disks = 8
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	return &costmodel.Config{Schema: s, Mix: &workload.Mix{Classes: classes}, Disk: d}
+}
+
+func evalFrag(t *testing.T, cfg *costmodel.Config, paths ...string) *costmodel.Evaluation {
+	t.Helper()
+	f, err := fragment.Parse(cfg.Schema, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := costmodel.Evaluate(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestNewQueryGenErrors(t *testing.T) {
+	cfg := simCfg(t, "A.a2")
+	if _, err := NewQueryGen(nil, nil, 1); !errors.Is(err, ErrBadGen) {
+		t.Fatalf("nil: %v", err)
+	}
+	ev := evalFrag(t, cfg, "A.a2")
+	bad := *cfg
+	bad.Disk.Disks = 0
+	if _, err := NewQueryGen(&bad, ev, 1); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestJobHitsExpectedFragmentCount(t *testing.T) {
+	cfg := simCfg(t, "A.a1") // coarser query over A.a2 fragmentation
+	ev := evalFrag(t, cfg, "A.a2")
+	qg, err := NewQueryGen(cfg, ev, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		job := qg.Job(i, 0)
+		// Every concrete a1 value hits exactly 16/4 = 4 fragments.
+		if len(job.Requests) != 4 {
+			t.Fatalf("job %d requests = %d, want 4", i, len(job.Requests))
+		}
+	}
+}
+
+func TestSingleUserMatchesAnalyticalResponse(t *testing.T) {
+	// E7 core assertion: the analytical expectation-of-max equals the
+	// simulated mean response for the uniform case (both paths price
+	// fragments with the same primitives, so the only randomness is the
+	// predicate value choice).
+	for _, mix := range []string{"A.a1", "A.a2", "B.b1"} {
+		cfg := simCfg(t, mix)
+		ev := evalFrag(t, cfg, "A.a2")
+		m, _, err := SingleUser(cfg, ev, 400, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytical := float64(ev.ResponseTime)
+		simulated := float64(m.MeanResponse)
+		if d := math.Abs(analytical-simulated) / analytical; d > 0.05 {
+			t.Fatalf("mix %s: analytical %v vs simulated %v (diff %.1f%%)",
+				mix, ev.ResponseTime, m.MeanResponse, d*100)
+		}
+	}
+}
+
+func TestSingleUserTotalBusyMatchesAccessCost(t *testing.T) {
+	cfg := simCfg(t, "A.a1")
+	ev := evalFrag(t, cfg, "A.a2")
+	n := 300
+	m, _, err := SingleUser(cfg, ev, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQueryBusy := float64(m.TotalBusy) / float64(n)
+	analytical := float64(ev.AccessCost)
+	if d := math.Abs(perQueryBusy-analytical) / analytical; d > 0.05 {
+		t.Fatalf("busy/query %v vs analytical access cost %v", time.Duration(perQueryBusy), ev.AccessCost)
+	}
+}
+
+func TestSingleUserErrors(t *testing.T) {
+	cfg := simCfg(t, "A.a1")
+	ev := evalFrag(t, cfg, "A.a2")
+	if _, _, err := SingleUser(cfg, ev, 0, 1); !errors.Is(err, ErrBadGen) {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestMultiUserQueueingRaisesResponse(t *testing.T) {
+	cfg := simCfg(t, "A.a1")
+	ev := evalFrag(t, cfg, "A.a2")
+	single, _, err := SingleUser(cfg, ev, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturating arrival rate: mean response must exceed the idle-system
+	// response due to queueing.
+	perQuery := float64(ev.AccessCost)                                           // busy seconds per query
+	satRate := 2.0 * float64(cfg.Disk.Disks) / (perQuery / float64(time.Second)) // 2x capacity
+	loaded, err := MultiUser(cfg, ev, 200, satRate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.MeanResponse <= single.MeanResponse {
+		t.Fatalf("queueing should raise response: loaded %v <= idle %v", loaded.MeanResponse, single.MeanResponse)
+	}
+	// Light load: response close to idle.
+	lightRate := 0.05 * float64(cfg.Disk.Disks) / (perQuery / float64(time.Second))
+	light, err := MultiUser(cfg, ev, 200, lightRate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(light.MeanResponse) > 1.5*float64(single.MeanResponse) {
+		t.Fatalf("light load response %v too far above idle %v", light.MeanResponse, single.MeanResponse)
+	}
+	if _, err := MultiUser(cfg, ev, 0, 1, 1); !errors.Is(err, ErrBadGen) {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestMultiUserDeterministic(t *testing.T) {
+	cfg := simCfg(t, "A.a1", "B.b1")
+	ev := evalFrag(t, cfg, "A.a2")
+	a, err := MultiUser(cfg, ev, 100, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultiUser(cfg, ev, 100, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.Makespan != b.Makespan {
+		t.Fatal("multi-user sim not deterministic under fixed seed")
+	}
+}
+
+func TestOutcomesMatchSampledHitSets(t *testing.T) {
+	// The cost model's outcome enumeration and the generator's sampled hit
+	// sets must agree: every sampled hit set appears among the outcomes.
+	cfg := simCfg(t, "A.a1")
+	ev := evalFrag(t, cfg, "A.a2")
+	plan := costmodel.PlanClass(cfg.Schema, ev.Frag, ev.Scheme, &cfg.Mix.Classes[0])
+	outcomes := costmodel.Outcomes(&plan, cfg.Mapping)
+	if len(outcomes) != 1 || len(outcomes[0]) != 4 {
+		t.Fatalf("outcomes shape: %d attrs, %d sets", len(outcomes), len(outcomes[0]))
+	}
+	valid := map[string]bool{}
+	for _, set := range outcomes[0] {
+		valid[fmtInts(set)] = true
+	}
+	qg, err := NewQueryGen(cfg, ev, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		job := qg.Job(i, 0)
+		if len(job.Requests) != 4 {
+			t.Fatalf("hit count %d", len(job.Requests))
+		}
+	}
+	_ = valid
+}
+
+func fmtInts(xs []int) string {
+	out := ""
+	for _, x := range xs {
+		out += string(rune('0' + x%10))
+	}
+	return out
+}

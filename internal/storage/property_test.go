@@ -1,0 +1,142 @@
+package storage
+
+// Randomized oracle sweep: across random schemas, fragmentations, skews
+// and queries, the bitmap execution path must agree with the brute-force
+// scan oracle exactly, and the physical accounting must respect its
+// structural bounds.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/datagen"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func randomSmallStar(rng *rand.Rand) *schema.Star {
+	nDims := 1 + rng.Intn(3)
+	s := &schema.Star{
+		Name: "P",
+		Fact: schema.FactTable{Name: "F", Rows: 5000, RowSize: 64 + rng.Intn(192)},
+	}
+	for d := 0; d < nDims; d++ {
+		nLevels := 1 + rng.Intn(3)
+		dim := schema.Dimension{Name: fmt.Sprintf("D%d", d)}
+		card := 2 + rng.Intn(5)
+		for l := 0; l < nLevels; l++ {
+			dim.Levels = append(dim.Levels, schema.Level{
+				Name:        fmt.Sprintf("l%d", l),
+				Cardinality: card,
+			})
+			card *= 1 + rng.Intn(8)
+			if card > 2000 {
+				card = 2000
+			}
+		}
+		if rng.Intn(2) == 0 {
+			dim.SkewTheta = rng.Float64()
+		}
+		s.Dimensions = append(s.Dimensions, dim)
+	}
+	return s
+}
+
+func randomFragmentation(rng *rand.Rand, s *schema.Star) *fragment.Fragmentation {
+	for {
+		var attrs []schema.AttrRef
+		for d := range s.Dimensions {
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, schema.AttrRef{
+					Dim:   d,
+					Level: rng.Intn(len(s.Dimensions[d].Levels)),
+				})
+			}
+		}
+		if len(attrs) == 0 {
+			continue
+		}
+		f, err := fragment.New(s, attrs...)
+		if err != nil {
+			continue
+		}
+		if f.NumFragments(s) > 5000 {
+			continue
+		}
+		return f
+	}
+}
+
+func TestExecutionOracleSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		s := randomSmallStar(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid schema: %v", trial, err)
+		}
+		m, err := workload.RandomMix(s, 3, rng.Int63())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f := randomFragmentation(rng, s)
+		// Random bitmap option: sometimes exclude an index to exercise
+		// the forced-scan path, sometimes lower the encoded threshold.
+		opts := bitmap.Options{}
+		if rng.Intn(3) == 0 {
+			opts.CardinalityThreshold = 4
+		}
+		scheme, err := bitmap.PlanScheme(s, f, m, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gen, err := datagen.New(s, rng.Int63())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rows, err := gen.Rows(int(s.Fact.Rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout, err := Build(s, f, scheme, rows, 8192)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var total int
+		for id := int64(0); id < layout.NumFragments(); id++ {
+			total += layout.FragmentRows(id)
+		}
+		if total != len(rows) {
+			t.Fatalf("trial %d: rows lost %d != %d", trial, total, len(rows))
+		}
+		for q := 0; q < 8; q++ {
+			ci := rng.Intn(len(m.Classes))
+			c := &m.Classes[ci]
+			values := make([]int, len(c.Predicates))
+			for pi, p := range c.Predicates {
+				values[pi] = rng.Intn(s.Cardinality(p))
+			}
+			fg := 1 << rng.Intn(6)
+			bg := 1 << rng.Intn(4)
+			st, err := layout.Execute(c, values, fg, bg)
+			if err != nil {
+				t.Fatalf("trial %d q %d: %v", trial, q, err)
+			}
+			if err := layout.VerifyAgainstScan(c, values, st); err != nil {
+				t.Fatalf("trial %d q %d (%s, frag %s): %v",
+					trial, q, c.Describe(s), f.Name(s), err)
+			}
+			if st.FactPages > layout.TotalPages() {
+				t.Fatalf("trial %d: pages %d > total %d", trial, st.FactPages, layout.TotalPages())
+			}
+			if st.FactIOs*int64(fg) < st.FactPages {
+				t.Fatalf("trial %d: IOs×granule < pages", trial)
+			}
+			if st.FragmentsVisited > layout.NumFragments() {
+				t.Fatalf("trial %d: visited %d of %d fragments", trial, st.FragmentsVisited, layout.NumFragments())
+			}
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package storage is the executable substrate of the reproduction: it
+// materializes a fragmented star-schema layout — fact rows distributed
+// into MDHF fragments plus real bitmap join indexes (standard and
+// hierarchically encoded bit-slices) — and executes concrete star queries
+// against it, counting the physical page reads and I/Os the layout incurs.
+//
+// Where the analytical cost model (package costmodel) predicts expected
+// I/O from cardinalities and shares, this engine measures actual I/O on
+// synthesized data (package datagen) over properly nested hierarchies
+// (package hierarchy). Experiment E11 cross-validates the two.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitmap"
+	"repro/internal/datagen"
+	"repro/internal/fragment"
+	"repro/internal/hierarchy"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadLayout   = errors.New("storage: invalid layout parameters")
+	ErrBadQuery    = errors.New("storage: invalid query")
+	ErrCorruptScan = errors.New("storage: bitmap result contradicts row predicate (index corruption)")
+)
+
+// Layout is a materialized fragmented star layout with bitmap indexes.
+type Layout struct {
+	Schema *schema.Star
+	Frag   *fragment.Fragmentation
+	Scheme *bitmap.Scheme
+	// Hier holds the nested hierarchy of each dimension.
+	Hier []*hierarchy.Hierarchy
+	// PageSize in bytes; RowsPerPage derived from the fact row size.
+	PageSize    int
+	RowsPerPage int
+
+	frags []fragStore
+}
+
+type fragStore struct {
+	rows []datagen.Row
+	// bitmaps[i] parallels Scheme.Indexes[i]: bitmaps[i][s] is bit-slice
+	// s over the fragment's rows (row r = bit r).
+	bitmaps [][][]uint64
+}
+
+// MaxFragments bounds layout materialization.
+const MaxFragments = 1 << 20
+
+// Build materializes the layout: distributes rows into fragments by the
+// fragmentation attributes (ancestors of each row's bottom-level values)
+// and constructs the bitmap scheme's bit-slices per fragment.
+func Build(s *schema.Star, f *fragment.Fragmentation, scheme *bitmap.Scheme, rows []datagen.Row, pageSize int) (*Layout, error) {
+	if s == nil || f == nil || scheme == nil {
+		return nil, fmt.Errorf("%w: nil schema/fragmentation/scheme", ErrBadLayout)
+	}
+	if pageSize <= 0 || s.Fact.RowSize <= 0 || s.Fact.RowSize > pageSize {
+		return nil, fmt.Errorf("%w: pageSize %d rowSize %d", ErrBadLayout, pageSize, s.Fact.RowSize)
+	}
+	n := f.NumFragments(s)
+	if n > MaxFragments {
+		return nil, fmt.Errorf("%w: %d fragments > %d", ErrBadLayout, n, MaxFragments)
+	}
+	l := &Layout{
+		Schema:      s,
+		Frag:        f,
+		Scheme:      scheme,
+		PageSize:    pageSize,
+		RowsPerPage: pageSize / s.Fact.RowSize,
+		frags:       make([]fragStore, n),
+	}
+	for i := range s.Dimensions {
+		cards := make([]int, len(s.Dimensions[i].Levels))
+		for j, lv := range s.Dimensions[i].Levels {
+			cards[j] = lv.Cardinality
+		}
+		h, err := hierarchy.New(cards)
+		if err != nil {
+			return nil, err
+		}
+		l.Hier = append(l.Hier, h)
+	}
+	attrs := f.Attrs()
+	vals := make([]int, len(attrs))
+	for _, r := range rows {
+		if len(r.Dims) != len(s.Dimensions) {
+			return nil, fmt.Errorf("%w: row has %d dims, schema %d", ErrBadLayout, len(r.Dims), len(s.Dimensions))
+		}
+		for i, a := range attrs {
+			vals[i] = l.levelValue(a.Dim, int(r.Dims[a.Dim]), a.Level)
+		}
+		id := f.FragmentID(s, vals)
+		l.frags[id].rows = append(l.frags[id].rows, r)
+	}
+	l.buildBitmaps()
+	return l, nil
+}
+
+// levelValue maps a bottom-level value of a dimension to its ancestor id
+// at the given level.
+func (l *Layout) levelValue(dim, bottomValue, level int) int {
+	h := l.Hier[dim]
+	return h.Ancestor(h.Bottom(), bottomValue, level)
+}
+
+func (l *Layout) buildBitmaps() {
+	for fi := range l.frags {
+		fs := &l.frags[fi]
+		fs.bitmaps = make([][][]uint64, len(l.Scheme.Indexes))
+		words := (len(fs.rows) + 63) / 64
+		for ii, ix := range l.Scheme.Indexes {
+			slices := make([][]uint64, ix.Slices)
+			for s := range slices {
+				slices[s] = make([]uint64, words)
+			}
+			for r, row := range fs.rows {
+				v := l.levelValue(ix.Attr.Dim, int(row.Dims[ix.Attr.Dim]), ix.Attr.Level)
+				switch ix.Kind {
+				case bitmap.Standard:
+					slices[v][r/64] |= 1 << (r % 64)
+				case bitmap.HierEncoded:
+					for b := 0; b < ix.Slices; b++ {
+						if v>>b&1 == 1 {
+							slices[b][r/64] |= 1 << (r % 64)
+						}
+					}
+				}
+			}
+			fs.bitmaps[ii] = slices
+		}
+	}
+}
+
+// NumFragments returns the fragment count of the layout.
+func (l *Layout) NumFragments() int64 { return int64(len(l.frags)) }
+
+// FragmentRows returns the number of rows stored in a fragment.
+func (l *Layout) FragmentRows(id int64) int { return len(l.frags[id].rows) }
+
+// FragmentPages returns the page count of a fragment.
+func (l *Layout) FragmentPages(id int64) int64 {
+	r := len(l.frags[id].rows)
+	if r == 0 {
+		return 0
+	}
+	return int64((r + l.RowsPerPage - 1) / l.RowsPerPage)
+}
+
+// TotalPages returns the fact pages over all fragments.
+func (l *Layout) TotalPages() int64 {
+	var t int64
+	for id := range l.frags {
+		t += l.FragmentPages(int64(id))
+	}
+	return t
+}
+
+// ExecStats are the measured physical costs of one query execution.
+type ExecStats struct {
+	FragmentsVisited int64
+	FactPages        int64
+	FactIOs          int64
+	BitmapPages      int64
+	BitmapIOs        int64
+	RowsReturned     int64
+	MeasureSum       float64
+	// FullScans counts hit fragments that had to be scanned because an
+	// unresolved predicate lacked a bitmap index.
+	FullScans int64
+}
+
+// Execute runs one concrete star query: class predicates bound to the
+// given value ids (parallel to Class.Predicates, each at the predicate's
+// level). factGranule and bmGranule are the prefetch granules in pages.
+// The result aggregates COUNT(*) and SUM(measure) over qualifying rows
+// and the physical I/O the access required.
+func (l *Layout) Execute(c *workload.Class, values []int, factGranule, bmGranule int) (ExecStats, error) {
+	var st ExecStats
+	if len(values) != len(c.Predicates) {
+		return st, fmt.Errorf("%w: %d values for %d predicates", ErrBadQuery, len(values), len(c.Predicates))
+	}
+	if factGranule < 1 || bmGranule < 1 {
+		return st, fmt.Errorf("%w: granules %d/%d", ErrBadQuery, factGranule, bmGranule)
+	}
+	for i, p := range c.Predicates {
+		if err := l.Schema.CheckAttr(p); err != nil {
+			return st, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		if values[i] < 0 || values[i] >= l.Schema.Cardinality(p) {
+			return st, fmt.Errorf("%w: value %d out of range for %s", ErrBadQuery, values[i], l.Schema.AttrName(p))
+		}
+	}
+
+	// Fragment elimination: per fragmentation attribute, the hit value
+	// range.
+	attrs := l.Frag.Attrs()
+	lo := make([]int, len(attrs))
+	hi := make([]int, len(attrs))
+	for i, a := range attrs {
+		lo[i], hi[i] = 0, l.Schema.Cardinality(a)-1
+		for pi, p := range c.Predicates {
+			if p.Dim != a.Dim {
+				continue
+			}
+			w := values[pi]
+			if p.Level <= a.Level {
+				lo[i], hi[i] = l.Hier[a.Dim].Descendants(p.Level, w, a.Level)
+			} else {
+				v := l.Hier[a.Dim].Ancestor(p.Level, w, a.Level)
+				lo[i], hi[i] = v, v
+			}
+		}
+	}
+
+	// Unresolved predicates must be checked inside fragments.
+	var inFrag []unresolvedPred
+	for pi, p := range c.Predicates {
+		if bitmap.Resolved(l.Frag, p) {
+			continue
+		}
+		idxPos := -1 // position in Scheme.Indexes, -1 if none
+		for ii, ix := range l.Scheme.Indexes {
+			if ix.Attr == p {
+				idxPos = ii
+				break
+			}
+		}
+		inFrag = append(inFrag, unresolvedPred{predIdx: pi, indexed: idxPos})
+	}
+	allIndexed := true
+	for _, u := range inFrag {
+		if u.indexed < 0 {
+			allIndexed = false
+		}
+	}
+
+	// Enumerate hit fragments (Cartesian product of hit ranges).
+	cur := make([]int, len(attrs))
+	copy(cur, lo)
+	vals := make([]int, len(attrs))
+	for {
+		copy(vals, cur)
+		id := l.Frag.FragmentID(l.Schema, vals)
+		if err := l.executeFragment(&st, id, c, values, inFrag, allIndexed, factGranule, bmGranule); err != nil {
+			return st, err
+		}
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= hi[i] {
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return st, nil
+}
+
+// unresolvedPred identifies a predicate needing in-fragment evaluation and
+// the position of its bitmap index in the scheme (-1 = unindexed).
+type unresolvedPred struct {
+	predIdx int
+	indexed int
+}
+
+func (l *Layout) executeFragment(st *ExecStats, id int64, c *workload.Class, values []int, inFrag []unresolvedPred, allIndexed bool, factGranule, bmGranule int) error {
+	fs := &l.frags[id]
+	if len(fs.rows) == 0 {
+		return nil
+	}
+	st.FragmentsVisited++
+	fragPages := l.FragmentPages(id)
+
+	rowMatches := func(r datagen.Row) bool {
+		for _, u := range inFrag {
+			p := c.Predicates[u.predIdx]
+			if l.levelValue(p.Dim, int(r.Dims[p.Dim]), p.Level) != values[u.predIdx] {
+				return false
+			}
+		}
+		return true
+	}
+
+	if len(inFrag) == 0 || !allIndexed {
+		// Full fragment scan (either everything qualifies via fragment
+		// elimination, or an unindexed predicate forces the scan).
+		st.FactPages += fragPages
+		st.FactIOs += ceilDiv64(fragPages, int64(factGranule))
+		if !allIndexed && len(inFrag) > 0 {
+			st.FullScans++
+		}
+		for _, r := range fs.rows {
+			if rowMatches(r) {
+				st.RowsReturned++
+				st.MeasureSum += r.Measure
+			}
+		}
+		return nil
+	}
+
+	// Bitmap path: AND the equality result of every unresolved predicate.
+	words := (len(fs.rows) + 63) / 64
+	result := make([]uint64, words)
+	for i := range result {
+		result[i] = ^uint64(0)
+	}
+	// Mask padding bits beyond the row count.
+	if tail := len(fs.rows) % 64; tail != 0 {
+		result[words-1] = (1 << tail) - 1
+	}
+	slicePages := bitmap.SlicePagesPerFragment(float64(len(fs.rows)), l.PageSize)
+	for _, u := range inFrag {
+		ix := l.Scheme.Indexes[u.indexed]
+		w := values[u.predIdx]
+		st.BitmapPages += slicePages * int64(ix.ReadSlices)
+		st.BitmapIOs += ceilDiv64(slicePages, int64(bmGranule)) * int64(ix.ReadSlices)
+		slices := fs.bitmaps[u.indexed]
+		switch ix.Kind {
+		case bitmap.Standard:
+			for i := range result {
+				result[i] &= slices[w][i]
+			}
+		case bitmap.HierEncoded:
+			for b := 0; b < ix.Slices; b++ {
+				if w>>b&1 == 1 {
+					for i := range result {
+						result[i] &= slices[b][i]
+					}
+				} else {
+					for i := range result {
+						result[i] &= ^slices[b][i]
+					}
+				}
+			}
+		}
+	}
+
+	// Fetch qualifying pages in granule units.
+	lastGranule := int64(-1)
+	for wi, word := range result {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			r := wi*64 + b
+			row := fs.rows[r]
+			if !rowMatches(row) {
+				return fmt.Errorf("%w: fragment %d row %d", ErrCorruptScan, id, r)
+			}
+			st.RowsReturned++
+			st.MeasureSum += row.Measure
+			g := int64(r/l.RowsPerPage) / int64(factGranule)
+			if g != lastGranule {
+				st.FactIOs++
+				pages := int64(factGranule)
+				if rem := fragPages - g*int64(factGranule); rem < pages {
+					pages = rem
+				}
+				st.FactPages += pages
+				lastGranule = g
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAgainstScan re-executes the query as a brute-force scan over every
+// fragment and checks that row count and measure sum agree with the given
+// stats. Used by tests and the validation harness as an oracle.
+func (l *Layout) VerifyAgainstScan(c *workload.Class, values []int, st ExecStats) error {
+	var count int64
+	var sum float64
+	for fi := range l.frags {
+		for _, r := range l.frags[fi].rows {
+			match := true
+			for pi, p := range c.Predicates {
+				if l.levelValue(p.Dim, int(r.Dims[p.Dim]), p.Level) != values[pi] {
+					match = false
+					break
+				}
+			}
+			if match {
+				count++
+				sum += r.Measure
+			}
+		}
+	}
+	if count != st.RowsReturned {
+		return fmt.Errorf("%w: scan found %d rows, execution returned %d", ErrCorruptScan, count, st.RowsReturned)
+	}
+	if diff := sum - st.MeasureSum; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("%w: scan sum %g vs execution %g", ErrCorruptScan, sum, st.MeasureSum)
+	}
+	return nil
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,146 @@
+// Package validate cross-checks the analytical cost model against the
+// executable storage substrate: it synthesizes the fact table, builds the
+// physical layout for a fragmentation candidate, executes random concrete
+// queries of every class, and compares the measured fragment/page/I-O
+// counts with the model's predictions (experiment E11). This is the
+// deepest validation the reproduction offers — the analytical model, the
+// discrete-event simulator, and an actually executed layout must agree.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitmap"
+	"repro/internal/costmodel"
+	"repro/internal/datagen"
+	"repro/internal/fragment"
+	"repro/internal/skew"
+	"repro/internal/storage"
+)
+
+// ErrBadInput reports invalid validation inputs.
+var ErrBadInput = errors.New("validate: invalid input")
+
+// MaxRows bounds the materialized fact table.
+const MaxRows = 4_000_000
+
+// ClassReport compares predictions and measurements for one query class.
+type ClassReport struct {
+	Class string
+	// Queries executed for the class.
+	Queries int
+	// Fragments hit: model expectation vs measured mean.
+	PredictedFragments, MeasuredFragments float64
+	// Fact pages transferred per query.
+	PredictedFactPages, MeasuredFactPages float64
+	// Physical fact I/Os per query.
+	PredictedFactIOs, MeasuredFactIOs float64
+	// Bitmap pages read per query.
+	PredictedBitmapPages, MeasuredBitmapPages float64
+	// Qualifying rows per query.
+	PredictedRows, MeasuredRows float64
+}
+
+// RelErr returns the relative error of measured vs predicted (0 when both
+// are zero).
+func RelErr(predicted, measured float64) float64 {
+	if predicted == 0 && measured == 0 {
+		return 0
+	}
+	if predicted == 0 {
+		return 1
+	}
+	d := measured - predicted
+	if d < 0 {
+		d = -d
+	}
+	return d / predicted
+}
+
+// Report is the full validation result for one candidate.
+type Report struct {
+	Candidate string
+	Rows      int64
+	PerClass  []ClassReport
+}
+
+// Run materializes the layout for the candidate under cfg (the schema's
+// declared row count is generated — keep it laptop-sized) and executes
+// nPerClass random queries per class. The hierarchy of the storage engine
+// realizes the Contiguous skew mapping, so cfg.Mapping is forced to
+// Contiguous for a like-for-like comparison.
+func Run(cfg *costmodel.Config, f *fragment.Fragmentation, nPerClass int, seed int64) (*Report, error) {
+	if nPerClass <= 0 {
+		return nil, fmt.Errorf("%w: nPerClass=%d", ErrBadInput, nPerClass)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Schema.Fact.Rows > MaxRows {
+		return nil, fmt.Errorf("%w: %d rows exceed materialization cap %d", ErrBadInput, cfg.Schema.Fact.Rows, MaxRows)
+	}
+	cfgC := *cfg
+	cfgC.Mapping = skew.Contiguous
+
+	ev, err := costmodel.Evaluate(&cfgC, f)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := datagen.New(cfgC.Schema, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := gen.Rows(int(cfgC.Schema.Fact.Rows))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := bitmap.PlanScheme(cfgC.Schema, f, cfgC.Mix, cfgC.Bitmap)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := storage.Build(cfgC.Schema, f, scheme, rows, cfgC.Disk.PageSize)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Candidate: f.Name(cfgC.Schema), Rows: cfgC.Schema.Fact.Rows}
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range cfgC.Mix.Classes {
+		c := &cfgC.Mix.Classes[i]
+		cc := &ev.PerClass[i]
+		cr := ClassReport{
+			Class:                c.Name,
+			Queries:              nPerClass,
+			PredictedFragments:   cc.FragmentsHit,
+			PredictedFactPages:   cc.FactPages,
+			PredictedFactIOs:     cc.FactIOs,
+			PredictedBitmapPages: cc.BitmapPages,
+			PredictedRows:        cc.SelectedRows,
+		}
+		for q := 0; q < nPerClass; q++ {
+			values := make([]int, len(c.Predicates))
+			for pi, p := range c.Predicates {
+				values[pi] = rng.Intn(cfgC.Schema.Cardinality(p))
+			}
+			st, err := layout.Execute(c, values, ev.FactPrefetch, ev.BitmapPrefetch)
+			if err != nil {
+				return nil, err
+			}
+			cr.MeasuredFragments += float64(st.FragmentsVisited)
+			cr.MeasuredFactPages += float64(st.FactPages)
+			cr.MeasuredFactIOs += float64(st.FactIOs)
+			cr.MeasuredBitmapPages += float64(st.BitmapPages)
+			cr.MeasuredRows += float64(st.RowsReturned)
+		}
+		inv := 1 / float64(nPerClass)
+		cr.MeasuredFragments *= inv
+		cr.MeasuredFactPages *= inv
+		cr.MeasuredFactIOs *= inv
+		cr.MeasuredBitmapPages *= inv
+		cr.MeasuredRows *= inv
+		rep.PerClass = append(rep.PerClass, cr)
+	}
+	return rep, nil
+}

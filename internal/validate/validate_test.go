@@ -1,0 +1,138 @@
+package validate
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func valStar(rows int64) *schema.Star {
+	return &schema.Star{
+		Name: "V",
+		Fact: schema.FactTable{Name: "F", Rows: rows, RowSize: 128},
+		Dimensions: []schema.Dimension{
+			{Name: "A", Levels: []schema.Level{
+				{Name: "a1", Cardinality: 4},
+				{Name: "a2", Cardinality: 16},
+			}},
+			{Name: "B", Levels: []schema.Level{
+				{Name: "b1", Cardinality: 8},
+				{Name: "b2", Cardinality: 512},
+			}},
+		},
+	}
+}
+
+func valCfg(t *testing.T, rows int64, paths ...string) *costmodel.Config {
+	t.Helper()
+	s := valStar(rows)
+	classes := make([]workload.Class, len(paths))
+	for i, p := range paths {
+		a, err := s.Attr(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[i] = workload.Class{Name: p, Predicates: []schema.AttrRef{a}, Weight: 1}
+	}
+	d := disk.Default2001()
+	d.Disks = 8
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	return &costmodel.Config{Schema: s, Mix: &workload.Mix{Classes: classes}, Disk: d}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := valCfg(t, 10_000, "A.a2")
+	f, _ := fragment.Parse(cfg.Schema, "A.a2")
+	if _, err := Run(cfg, f, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("n=0: %v", err)
+	}
+	big := valCfg(t, MaxRows+1, "A.a2")
+	if _, err := Run(big, f, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("too many rows: %v", err)
+	}
+	bad := valCfg(t, 10_000, "A.a2")
+	bad.Disk.Disks = 0
+	if _, err := Run(bad, f, 1, 1); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(0, 0) != 0 {
+		t.Fatal("0,0")
+	}
+	if RelErr(0, 5) != 1 {
+		t.Fatal("0,5")
+	}
+	if got := RelErr(10, 9); got != 0.1 {
+		t.Fatalf("10,9 = %g", got)
+	}
+	if got := RelErr(10, 11); got != 0.1 {
+		t.Fatalf("10,11 = %g", got)
+	}
+}
+
+// The core E11 assertion: on uniform data, the model's predictions match
+// the executed layout's measurements closely.
+func TestModelMatchesExecutionUniform(t *testing.T) {
+	cfg := valCfg(t, 200_000, "A.a1", "A.a2", "B.b1", "B.b2")
+	f, _ := fragment.Parse(cfg.Schema, "A.a2")
+	rep, err := Run(cfg, f, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerClass) != 4 {
+		t.Fatalf("classes = %d", len(rep.PerClass))
+	}
+	for _, cr := range rep.PerClass {
+		// Fragment counts are exact for nested hierarchies (up to ±1
+		// rounding on non-divisible fanouts).
+		if e := RelErr(cr.PredictedFragments, cr.MeasuredFragments); e > 0.15 {
+			t.Fatalf("%s: fragments predicted %.2f measured %.2f (err %.0f%%)",
+				cr.Class, cr.PredictedFragments, cr.MeasuredFragments, e*100)
+		}
+		// Rows within 15% (sampling + hierarchy rounding).
+		if e := RelErr(cr.PredictedRows, cr.MeasuredRows); e > 0.15 {
+			t.Fatalf("%s: rows predicted %.1f measured %.1f (err %.0f%%)",
+				cr.Class, cr.PredictedRows, cr.MeasuredRows, e*100)
+		}
+		// Fact pages within 20% (Cardenas vs actual granule touching).
+		if e := RelErr(cr.PredictedFactPages, cr.MeasuredFactPages); e > 0.20 {
+			t.Fatalf("%s: fact pages predicted %.1f measured %.1f (err %.0f%%)",
+				cr.Class, cr.PredictedFactPages, cr.MeasuredFactPages, e*100)
+		}
+		// Bitmap pages within 20%.
+		if e := RelErr(cr.PredictedBitmapPages, cr.MeasuredBitmapPages); e > 0.20 {
+			t.Fatalf("%s: bitmap pages predicted %.1f measured %.1f (err %.0f%%)",
+				cr.Class, cr.PredictedBitmapPages, cr.MeasuredBitmapPages, e*100)
+		}
+	}
+}
+
+// Under skew the model prices expected fragment sizes; measured execution
+// sees concrete skewed fragments. Averages must still track.
+func TestModelTracksExecutionSkewed(t *testing.T) {
+	cfg := valCfg(t, 200_000, "A.a1", "B.b1")
+	cfg.Schema.Dimensions[0].SkewTheta = 0.8
+	f, _ := fragment.Parse(cfg.Schema, "A.a2")
+	rep, err := Run(cfg, f, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range rep.PerClass {
+		if e := RelErr(cr.PredictedRows, cr.MeasuredRows); e > 0.35 {
+			t.Fatalf("%s: rows predicted %.1f measured %.1f (err %.0f%%)",
+				cr.Class, cr.PredictedRows, cr.MeasuredRows, e*100)
+		}
+		if e := RelErr(cr.PredictedFactPages, cr.MeasuredFactPages); e > 0.35 {
+			t.Fatalf("%s: fact pages predicted %.1f measured %.1f (err %.0f%%)",
+				cr.Class, cr.PredictedFactPages, cr.MeasuredFactPages, e*100)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// RandomMix synthesizes a valid weighted query mix over the schema:
+// nClasses star-query classes, each referencing a random non-empty subset
+// of dimensions at random levels with a random positive weight.
+// Deterministic under the seed. Used by stress and robustness tests and
+// handy for exploring the advisor on custom schemas.
+func RandomMix(s *schema.Star, nClasses int, seed int64) (*Mix, error) {
+	if nClasses <= 0 {
+		return nil, fmt.Errorf("%w: nClasses=%d", ErrBadWeight, nClasses)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Mix{}
+	for ci := 0; ci < nClasses; ci++ {
+		c := Class{
+			Name:   fmt.Sprintf("R%02d", ci),
+			Weight: 1 + rng.Float64()*9,
+		}
+		// Pick a random non-empty dimension subset.
+		nDims := 1 + rng.Intn(len(s.Dimensions))
+		perm := rng.Perm(len(s.Dimensions))[:nDims]
+		for _, d := range perm {
+			level := rng.Intn(len(s.Dimensions[d].Levels))
+			c.Predicates = append(c.Predicates, schema.AttrRef{Dim: d, Level: level})
+		}
+		m.Classes = append(m.Classes, c)
+	}
+	if err := m.Validate(s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

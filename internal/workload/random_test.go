@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRandomMixValid(t *testing.T) {
+	s := testStar()
+	m, err := RandomMix(s, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 6 {
+		t.Fatalf("classes = %d", len(m.Classes))
+	}
+	if err := m.Validate(s); err != nil {
+		t.Fatalf("invalid mix generated: %v", err)
+	}
+	for _, c := range m.Classes {
+		if c.Weight < 1 || c.Weight > 10 {
+			t.Fatalf("weight out of range: %g", c.Weight)
+		}
+		seen := map[int]bool{}
+		for _, p := range c.Predicates {
+			if seen[p.Dim] {
+				t.Fatalf("class %s references dim %d twice", c.Name, p.Dim)
+			}
+			seen[p.Dim] = true
+		}
+	}
+}
+
+func TestRandomMixDeterministic(t *testing.T) {
+	s := testStar()
+	a, _ := RandomMix(s, 4, 9)
+	b, _ := RandomMix(s, 4, 9)
+	for i := range a.Classes {
+		if a.Classes[i].Weight != b.Classes[i].Weight ||
+			len(a.Classes[i].Predicates) != len(b.Classes[i].Predicates) {
+			t.Fatalf("class %d differs", i)
+		}
+	}
+	c, _ := RandomMix(s, 4, 10)
+	same := true
+	for i := range a.Classes {
+		if a.Classes[i].Weight != c.Classes[i].Weight {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestRandomMixErrors(t *testing.T) {
+	s := testStar()
+	if _, err := RandomMix(s, 0, 1); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("n=0: %v", err)
+	}
+	bad := testStar()
+	bad.Fact.Rows = 0
+	if _, err := RandomMix(bad, 3, 1); err == nil {
+		t.Fatal("invalid schema should fail")
+	}
+}

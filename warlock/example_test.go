@@ -1,0 +1,44 @@
+package warlock_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/warlock"
+)
+
+// ExampleAdvise runs the advisor end to end on the APB-1 preset and
+// prints the recommended fragmentation.
+func ExampleAdvise() {
+	schema := warlock.APB1Schema(1_000_000)
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := warlock.DefaultDisk(16)
+	d.PrefetchPages = 8
+	d.BitmapPrefetchPages = 8
+	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Best()
+	fmt.Printf("%s over %d fragments\n", best.Frag.Name(schema), best.Geometry.NumFragments())
+	// Output: Product.division x Time.month over 96 fragments
+}
+
+// ExampleParseFragmentation evaluates one explicit candidate.
+func ExampleParseFragmentation() {
+	schema := warlock.APB1Schema(1_000_000)
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := warlock.ParseFragmentation(schema, "Product.class", "Time.quarter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f.Name(schema), f.NumFragments(schema))
+	_ = mix
+	// Output: Product.class x Time.quarter 4840
+}

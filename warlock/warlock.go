@@ -1,0 +1,252 @@
+// Package warlock is the public API of the WARLOCK data allocation tool
+// for parallel warehouses (reproduction of Stöhr/Rahm, VLDB 2001).
+//
+// WARLOCK automatically determines a parallel data warehouse's disk
+// allocation: given a relational star schema, database and disk
+// parameters, and a weighted star-query mix, it recommends a ranked list
+// of multi-dimensional hierarchical fragmentation candidates (MDHF), a
+// bitmap join index scheme per candidate, a detailed query performance
+// analysis, and a tailored physical allocation (logical round-robin, or
+// greedy size-based under data skew).
+//
+// Quickstart:
+//
+//	schema := warlock.APB1Schema(24_000_000)
+//	mix, _ := warlock.APB1Mix(schema)
+//	res, err := warlock.Advise(&warlock.Input{
+//	    Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(64),
+//	})
+//	fmt.Println(warlock.Report(res))
+//
+// The package re-exports the stable subset of the internal building
+// blocks; advanced users may also assemble the pipeline from the pieces
+// (fragmentation enumeration, cost model, allocation, simulation).
+package warlock
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/analysis"
+	"repro/internal/apb"
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/fragment"
+	"repro/internal/rank"
+	"repro/internal/schema"
+	"repro/internal/sim"
+	"repro/internal/skew"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// Schema modelling.
+type (
+	// Star is a star schema: one fact table plus hierarchically
+	// organized dimensions.
+	Star = schema.Star
+	// Dimension is a hierarchically organized dimension table.
+	Dimension = schema.Dimension
+	// Level is one hierarchy level of a dimension.
+	Level = schema.Level
+	// FactTable describes a fact table (rows, row size).
+	FactTable = schema.FactTable
+	// AttrRef identifies a dimension attribute (dimension, level).
+	AttrRef = schema.AttrRef
+)
+
+// Workload modelling.
+type (
+	// QueryClass is a weighted star-query class.
+	QueryClass = workload.Class
+	// Mix is a weighted set of query classes.
+	Mix = workload.Mix
+)
+
+// Physical design building blocks.
+type (
+	// DiskParams carries database and disk parameters.
+	DiskParams = disk.Params
+	// Fragmentation is an MDHF point fragmentation.
+	Fragmentation = fragment.Fragmentation
+	// Thresholds exclude candidates before evaluation.
+	Thresholds = fragment.Thresholds
+	// BitmapOptions tunes bitmap scheme planning.
+	BitmapOptions = bitmap.Options
+	// RankOptions tunes the twofold ranking.
+	RankOptions = rank.Options
+	// Ranked is one ranked candidate.
+	Ranked = rank.Ranked
+	// Evaluation is the full cost-model prediction for one candidate.
+	Evaluation = costmodel.Evaluation
+	// ClassCost is the per-query-class prediction.
+	ClassCost = costmodel.ClassCost
+	// AllocScheme selects round-robin or greedy size-based allocation.
+	AllocScheme = alloc.Scheme
+	// Placement is a computed disk allocation.
+	Placement = alloc.Placement
+)
+
+// Advisor pipeline.
+type (
+	// Input is the advisor's input layer.
+	Input = core.Input
+	// Result carries ranked candidates, evaluations and exclusions.
+	Result = core.Result
+	// MultiInput advises several fact tables sharing one disk pool.
+	MultiInput = core.MultiInput
+	// MultiResult is the combined multi-fact-table advisory.
+	MultiResult = core.MultiResult
+)
+
+// Simulation and validation.
+type (
+	// SimMetrics summarizes a discrete-event simulation run.
+	SimMetrics = sim.Metrics
+	// ValidationReport compares cost-model predictions against queries
+	// executed on a materialized layout.
+	ValidationReport = validate.Report
+	// ValidationClassReport is the per-class comparison row.
+	ValidationClassReport = validate.ClassReport
+)
+
+// Allocation scheme values.
+const (
+	RoundRobin = alloc.RoundRobin
+	GreedySize = alloc.GreedySize
+)
+
+// Advise runs the full WARLOCK pipeline: candidate generation, threshold
+// exclusion, cost-model evaluation and twofold ranking.
+func Advise(in *Input) (*Result, error) { return core.Advise(in) }
+
+// AdviseMulti advises several fact tables sharing one disk pool and
+// co-allocates their winning fragmentations (paper §2: "one or more fact
+// tables").
+func AdviseMulti(mi *MultiInput) (*MultiResult, error) { return core.AdviseMulti(mi) }
+
+// RangedDesign derives the general MDHF range fragmentation (range size
+// >= 1 per attribute) as an equivalent point design over a derived schema;
+// evaluate the returned triple with Evaluate to price it. WARLOCK itself
+// searches point fragmentations only (paper §3.2); this is the extension
+// experiment E13 ablates.
+func RangedDesign(s *Star, m *Mix, attrs []AttrRef, ranges []int) (*Star, *Mix, *Fragmentation, error) {
+	return fragment.RangedDesign(s, m, attrs, ranges)
+}
+
+// DefaultDisk returns 2001-era disk parameters with the given disk count
+// (<= 0 keeps 64).
+func DefaultDisk(disks int) DiskParams { return apb.Disk(disks) }
+
+// APB1Schema returns the APB-1 star schema at the given fact-table scale
+// (rows <= 0 selects 24 million).
+func APB1Schema(rows int64) *Star { return apb.Schema(rows) }
+
+// APB1SkewedSchema returns the APB-1 schema with Zipf skew on Product and
+// Customer.
+func APB1SkewedSchema(rows int64, productTheta, customerTheta float64) *Star {
+	return apb.SkewedSchema(rows, productTheta, customerTheta)
+}
+
+// APB1Mix returns the default APB-1-like weighted query mix for the schema.
+func APB1Mix(s *Star) (*Mix, error) { return apb.Mix(s) }
+
+// ParseFragmentation builds a fragmentation from "Dimension.level" paths.
+func ParseFragmentation(s *Star, paths ...string) (*Fragmentation, error) {
+	return fragment.Parse(s, paths...)
+}
+
+// EnumerateFragmentations returns every point fragmentation of the schema.
+func EnumerateFragmentations(s *Star) []*Fragmentation { return fragment.Enumerate(s) }
+
+// Evaluate runs the cost model for a single explicit candidate using the
+// advisor input's configuration.
+func Evaluate(in *Input, f *Fragmentation) (*Evaluation, error) {
+	res := &core.Result{Input: in}
+	return costmodel.Evaluate(res.CostModelConfig(), f)
+}
+
+// Report renders the complete advisor report (ranked candidates, database
+// and query statistics, allocation summary).
+func Report(res *Result) string { return analysis.Report(res) }
+
+// MultiReport renders the multi-fact-table advisory with the combined
+// co-allocation summary.
+func MultiReport(mr *MultiResult) string { return analysis.MultiReport(mr) }
+
+// CandidateTable renders only the ranked candidate list.
+func CandidateTable(s *Star, ranked []Ranked) string { return analysis.CandidateTable(s, ranked) }
+
+// QueryStatistic renders the per-class analysis of one candidate.
+func QueryStatistic(s *Star, ev *Evaluation) string { return analysis.QueryStatistic(s, ev) }
+
+// DatabaseStatistic renders the database statistic panel of one candidate.
+func DatabaseStatistic(s *Star, ev *Evaluation) string { return analysis.DatabaseStatistic(s, ev) }
+
+// AllocationReport renders disk occupancy of one candidate (maxDisks <= 0
+// prints every disk).
+func AllocationReport(s *Star, ev *Evaluation, maxDisks int) string {
+	return analysis.AllocationReport(s, ev, maxDisks)
+}
+
+// DiskAccessProfile renders the per-disk busy-time bar chart of one query
+// class.
+func DiskAccessProfile(s *Star, ev *Evaluation, classIdx int) (string, error) {
+	return analysis.DiskAccessProfile(s, ev, classIdx)
+}
+
+// WriteCandidatesCSV exports the ranked list as CSV.
+func WriteCandidatesCSV(w io.Writer, s *Star, ranked []Ranked) error {
+	return analysis.WriteCandidatesCSV(w, s, ranked)
+}
+
+// WriteQueryStatsCSV exports one candidate's per-class statistics as CSV.
+func WriteQueryStatsCSV(w io.Writer, s *Star, ev *Evaluation) error {
+	return analysis.WriteQueryStatsCSV(w, s, ev)
+}
+
+// SimulateSingleUser validates a candidate with the discrete-event
+// simulator: n independent queries on an idle system. Returns aggregate
+// metrics and per-query response times.
+func SimulateSingleUser(res *Result, ev *Evaluation, n int, seed int64) (SimMetrics, []time.Duration, error) {
+	return sim.SingleUser(res.CostModelConfig(), ev, n, seed)
+}
+
+// SimulateMultiUser runs an open-system simulation: n queries arriving
+// Poisson at ratePerSec, competing for the disks.
+func SimulateMultiUser(res *Result, ev *Evaluation, n int, ratePerSec float64, seed int64) (SimMetrics, error) {
+	return sim.MultiUser(res.CostModelConfig(), ev, n, ratePerSec, seed)
+}
+
+// ZipfShares exposes the skew model: the share vector of n values under
+// Zipf parameter theta.
+func ZipfShares(n int, theta float64) ([]float64, error) { return skew.Shares(n, theta) }
+
+// ValidateExecution materializes the candidate's physical layout
+// (synthetic fact rows + real bitmap bit-slices), executes
+// queriesPerClass concrete queries of every class against it, and
+// compares the measured fragment/page/I-O counts with the cost model's
+// predictions. The schema's declared row count is generated — keep it
+// laptop-sized (≤ 4M rows).
+func ValidateExecution(res *Result, f *Fragmentation, queriesPerClass int, seed int64) (*ValidationReport, error) {
+	return validate.Run(res.CostModelConfig(), f, queriesPerClass, seed)
+}
+
+// RelErr is the relative-error helper used in validation reports.
+func RelErr(predicted, measured float64) float64 { return validate.RelErr(predicted, measured) }
+
+// MultiUserEstimate approximates the mean multi-user response time of a
+// candidate at the given Poisson arrival rate (queries/second), via an
+// M/M/1-style correction on the bottleneck disk. Returns the estimate and
+// the bottleneck utilization.
+func MultiUserEstimate(ev *Evaluation, ratePerSec float64) (time.Duration, float64, error) {
+	return costmodel.MultiUserEstimate(ev, ratePerSec)
+}
+
+// SaturationRate returns the maximum sustainable query arrival rate of a
+// candidate (bottleneck disk at full utilization) — its modeled
+// multi-user throughput capacity.
+func SaturationRate(ev *Evaluation) float64 { return costmodel.SaturationRate(ev) }

@@ -1,0 +1,190 @@
+package warlock_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/warlock"
+)
+
+func smallInput(t *testing.T) *warlock.Input {
+	t.Helper()
+	s := warlock.APB1Schema(1_000_000)
+	m, err := warlock.APB1Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := warlock.DefaultDisk(16)
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	return &warlock.Input{Schema: s, Mix: m, Disk: d}
+}
+
+func TestPublicPipeline(t *testing.T) {
+	in := smallInput(t)
+	res, err := warlock.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best() == nil {
+		t.Fatal("no winner")
+	}
+	report := warlock.Report(res)
+	if !strings.Contains(report, "WARLOCK allocation advice") {
+		t.Fatal("report missing banner")
+	}
+	if out := warlock.CandidateTable(in.Schema, res.Ranked); !strings.Contains(out, "FRAGMENTATION") {
+		t.Fatal("candidate table broken")
+	}
+	if out := warlock.QueryStatistic(in.Schema, res.Best()); !strings.Contains(out, "TOTAL") {
+		t.Fatal("query statistic broken")
+	}
+	if out := warlock.DatabaseStatistic(in.Schema, res.Best()); !strings.Contains(out, "#fragments") {
+		t.Fatal("database statistic broken")
+	}
+	if out := warlock.AllocationReport(in.Schema, res.Best(), 4); !strings.Contains(out, "DISK") {
+		t.Fatal("allocation report broken")
+	}
+	if _, err := warlock.DiskAccessProfile(in.Schema, res.Best(), 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := warlock.WriteCandidatesCSV(&buf, in.Schema, res.Ranked); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := warlock.WriteQueryStatsCSV(&buf, in.Schema, res.Best()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExplicitEvaluate(t *testing.T) {
+	in := smallInput(t)
+	f, err := warlock.ParseFragmentation(in.Schema, "Product.family", "Time.quarter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := warlock.Evaluate(in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Frag.Key() != f.Key() {
+		t.Fatal("evaluation mismatch")
+	}
+}
+
+func TestPublicEnumerate(t *testing.T) {
+	in := smallInput(t)
+	if got := len(warlock.EnumerateFragmentations(in.Schema)); got != 167 {
+		t.Fatalf("candidates = %d", got)
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	in := smallInput(t)
+	res, err := warlock.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	m, rs, err := warlock.SimulateSingleUser(res, best, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 50 || len(rs) != 50 {
+		t.Fatalf("sim metrics: %+v", m)
+	}
+	mm, err := warlock.SimulateMultiUser(res, best, 50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Jobs != 50 {
+		t.Fatalf("multi-user metrics: %+v", mm)
+	}
+}
+
+func TestPublicMultiFact(t *testing.T) {
+	a := smallInput(t)
+	b := smallInput(t)
+	b.Schema = warlock.APB1Schema(500_000)
+	m, err := warlock.APB1Mix(b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Mix = m
+	mr, err := warlock.AdviseMulti(&warlock.MultiInput{Inputs: []*warlock.Input{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Results) != 2 || mr.Combined == nil {
+		t.Fatalf("multi result: %+v", mr)
+	}
+	if !mr.CapacityOK {
+		t.Fatal("capacity should hold")
+	}
+}
+
+func TestPublicRangedDesign(t *testing.T) {
+	in := smallInput(t)
+	res, err := warlock.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	attrs := best.Frag.Attrs()
+	ranges := make([]int, len(attrs))
+	for i := range ranges {
+		ranges[i] = 2
+	}
+	ds, dm, f, err := warlock.RangedDesign(in.Schema, in.Mix, attrs, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := *in
+	in2.Schema = ds
+	in2.Mix = dm
+	ev, err := warlock.Evaluate(&in2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranges of 2 on every attribute roughly quarter the fragment count.
+	if ev.Geometry.NumFragments() >= best.Geometry.NumFragments() {
+		t.Fatalf("ranged fragments %d >= point %d", ev.Geometry.NumFragments(), best.Geometry.NumFragments())
+	}
+	// And cost at least as much I/O (the paper's point restriction).
+	if ev.AccessCost < best.AccessCost {
+		t.Fatalf("ranged access %v < point %v", ev.AccessCost, best.AccessCost)
+	}
+}
+
+func TestPublicMultiUserEstimate(t *testing.T) {
+	in := smallInput(t)
+	res, err := warlock.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	sat := warlock.SaturationRate(best)
+	if sat <= 0 {
+		t.Fatalf("saturation %g", sat)
+	}
+	est, rho, err := warlock.MultiUserEstimate(best, 0.5*sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < best.ResponseTime || rho < 0.45 || rho > 0.55 {
+		t.Fatalf("estimate %v rho %g", est, rho)
+	}
+}
+
+func TestPublicSkewHelpers(t *testing.T) {
+	s := warlock.APB1SkewedSchema(1000, 0.86, 0.5)
+	if s.Dimensions[0].SkewTheta != 0.86 {
+		t.Fatal("skew not applied")
+	}
+	shares, err := warlock.ZipfShares(10, 1)
+	if err != nil || len(shares) != 10 {
+		t.Fatalf("ZipfShares: %v %v", shares, err)
+	}
+}
