@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per experiment of EXPERIMENTS.md (E1–E10) plus the two
+// One benchmark per experiment of EXPERIMENTS.md (E1–E14) plus the two
 // paper figures (F1 pipeline, F2 analysis panels). Each benchmark
 // exercises exactly the code path the corresponding warlock-bench
 // experiment uses, at a reduced scale so `go test -bench=.` completes in
@@ -9,6 +9,7 @@ package repro
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/alloc"
@@ -27,6 +28,30 @@ import (
 )
 
 const benchRows = 1_000_000
+
+// BenchmarkAdvise contrasts the serial and parallel evaluation stage of
+// the streaming advisor pipeline (experiment E14): bit-for-bit identical
+// results, wall-clock divided across the cost-model workers.
+func BenchmarkAdvise(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			in := benchInput(b, 0, 0, 16)
+			in.Parallelism = bc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Advise(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func benchInput(b *testing.B, productTheta, customerTheta float64, disks int) *core.Input {
 	b.Helper()

@@ -39,7 +39,7 @@ func captureExperiment(t *testing.T, name string) string {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "f1", "f2"}
 	if len(experiments) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(experiments), len(want))
 	}
@@ -146,6 +146,15 @@ func TestE13Output(t *testing.T) {
 	out := captureExperiment(t, "e13")
 	if !strings.Contains(out, "RANGE SIZE") || !strings.Contains(out, "point-fragmentation") {
 		t.Fatalf("e13 output:\n%s", out)
+	}
+}
+
+func TestE14Output(t *testing.T) {
+	out := captureExperiment(t, "e14")
+	for _, want := range []string{"WORKERS", "SPEEDUP", "identical ranked results"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e14 missing %q:\n%s", want, out)
+		}
 	}
 }
 

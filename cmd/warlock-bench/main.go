@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"e11", "cost model vs executed storage layout (materialized rows + bitmaps)", runE11},
 	{"e12", "multi-user throughput: analytical estimate vs open-system simulation", runE12},
 	{"e13", "range-size ablation: why WARLOCK restricts to point fragmentations", runE13},
+	{"e14", "concurrent pipeline: serial vs parallel advisory wall-clock, identical results", runE14},
 	{"f1", "Fig.1 pipeline: end-to-end advisor run summary", runF1},
 	{"f2", "Fig.2 panels: full analysis report of the winner", runF2},
 }
@@ -67,7 +68,7 @@ func main() {
 	}
 	args := fs.Args()
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: warlock-bench [-rows N] [-disks D] <e1..e10|f1|f2|all>")
+		fmt.Fprintln(os.Stderr, "usage: warlock-bench [-rows N] [-disks D] <e1..e14|f1|f2|all>")
 		os.Exit(2)
 	}
 	p := params{rows: *rows, disks: *disks, seed: *seed}

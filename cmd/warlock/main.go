@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/analysis"
 	"repro/internal/config"
@@ -25,13 +27,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the advisor pipeline cleanly instead of killing the
+	// process mid-write; once cancelled, default signal handling returns
+	// so a second Ctrl-C force-quits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "warlock:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("warlock", flag.ContinueOnError)
 	var (
 		configPath    = fs.String("config", "", "JSON configuration file (see -emit-example)")
@@ -41,6 +49,7 @@ func run(args []string) error {
 		emitExample   = fs.Bool("emit-example", false, "print an example APB-1 JSON config and exit")
 		topN          = fs.Int("top", 10, "number of ranked candidates to show")
 		leadingPct    = fs.Float64("leading", 10, "leading %% of candidates re-ranked by response time")
+		parallelism   = fs.Int("parallelism", 0, "cost-model evaluation workers (0 = GOMAXPROCS); results are identical for every value")
 		candidatesCSV = fs.String("candidates-csv", "", "write the ranked candidate list to this CSV file")
 		statsCSV      = fs.String("stats-csv", "", "write the winner's per-class statistics to this CSV file")
 		profileClass  = fs.Int("profile", -1, "print the disk access profile of the query class with this index")
@@ -85,8 +94,9 @@ func run(args []string) error {
 
 	in.Rank.TopN = *topN
 	in.Rank.LeadingPercent = *leadingPct
+	in.Parallelism = *parallelism
 
-	res, err := core.Advise(in)
+	res, err := core.AdviseContext(ctx, in)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -22,7 +23,7 @@ func capture(t *testing.T, args ...string) (string, error) {
 		b, _ := io.ReadAll(r)
 		done <- b
 	}()
-	runErr := run(args)
+	runErr := run(context.Background(), args)
 	w.Close()
 	os.Stdout = old
 	return string(<-done), runErr
@@ -147,5 +148,19 @@ func TestRunMultiUserSimulate(t *testing.T) {
 func TestRunBadProfileIndex(t *testing.T) {
 	if _, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8", "-profile", "99"); err == nil {
 		t.Fatal("bad profile index should fail")
+	}
+}
+
+func TestRunParallelismFlagDeterministic(t *testing.T) {
+	serial, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8", "-parallelism", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8", "-parallelism", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatal("-parallelism changed the report output")
 	}
 }

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -60,6 +61,10 @@ type Input struct {
 	// Candidates restricts evaluation to an explicit list; nil enumerates
 	// every point fragmentation of the schema.
 	Candidates []*fragment.Fragmentation
+	// Parallelism is the number of cost-model evaluation workers of the
+	// streaming pipeline. <= 0 uses GOMAXPROCS. Results are bit-for-bit
+	// identical for every value; only wall-clock time changes.
+	Parallelism int
 }
 
 // Result is everything the prediction layer hands to the analysis layer.
@@ -110,71 +115,10 @@ func (in *Input) Validate() error {
 }
 
 // Advise runs the WARLOCK pipeline: candidate generation, threshold
-// exclusion, cost-model evaluation, and twofold ranking.
+// exclusion, parallel cost-model evaluation, and streaming twofold
+// ranking. It is AdviseContext without cancellation.
 func Advise(in *Input) (*Result, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	th := in.Thresholds
-	if th == (fragment.Thresholds{}) {
-		th = DefaultThresholds(in.Disk)
-	}
-	res := &Result{Input: in}
-
-	// Candidate generation & threshold exclusion.
-	var cands []*fragment.Fragmentation
-	if in.Candidates != nil {
-		for _, f := range in.Candidates {
-			if v := th.PreCheck(in.Schema, f, in.Disk.PageSize); v != nil {
-				res.Excluded = append(res.Excluded, *v)
-				continue
-			}
-			cands = append(cands, f)
-		}
-	} else {
-		cands, res.Excluded = fragment.EnumerateFiltered(in.Schema, th, in.Disk.PageSize)
-	}
-	if len(cands) == 0 {
-		return res, fmt.Errorf("%w: all %d candidates excluded by thresholds", ErrNoFeasible, len(res.Excluded))
-	}
-
-	// Cost model evaluation.
-	cfg := &costmodel.Config{
-		Schema:          in.Schema,
-		Mix:             in.Mix,
-		Disk:            in.Disk,
-		Mapping:         in.Mapping,
-		Bitmap:          in.Bitmap,
-		AllocScheme:     in.AllocScheme,
-		SkewCVThreshold: in.SkewCVThreshold,
-		MaxFragments:    th.MaxFragments,
-	}
-	var evalErrs []error
-	res.Evaluations, evalErrs = costmodel.EvaluateAll(cfg, cands)
-	res.EvalFailures = evalErrs
-
-	// Post-evaluation threshold check (size-based exclusions under skew
-	// that the cheap pre-check could not decide).
-	kept := res.Evaluations[:0]
-	for _, ev := range res.Evaluations {
-		if v := th.Check(ev.Geometry); v != nil {
-			res.Excluded = append(res.Excluded, *v)
-			continue
-		}
-		kept = append(kept, ev)
-	}
-	res.Evaluations = kept
-	if len(res.Evaluations) == 0 {
-		return res, fmt.Errorf("%w: no candidate survived evaluation", ErrNoFeasible)
-	}
-
-	// Twofold ranking.
-	ranked, err := rank.Rank(res.Evaluations, in.Rank)
-	if err != nil {
-		return res, err
-	}
-	res.Ranked = ranked
-	return res, nil
+	return AdviseContext(context.Background(), in)
 }
 
 // Best returns the top-ranked evaluation.

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/fragment"
+	"repro/internal/rank"
+)
+
+// The prediction layer runs as a concurrent streaming pipeline:
+//
+//	enumerate ──► prune (thresholds) ──► evaluate (N workers) ──► rank (top-k)
+//
+// The enumerator yields candidates lazily (fragment.EnumerateSeq); the
+// threshold pre-check drops candidates before any geometry exists; a
+// worker pool prices survivors with one shared goroutine-safe
+// costmodel.Evaluator; and a streaming rank.Collector maintains the
+// twofold top-k without waiting for the full evaluation set. Every
+// per-candidate computation is pure and deterministically seeded, and all
+// ordered outputs are keyed by the candidate's enumeration index, so the
+// Result is bit-for-bit identical for any worker count — Parallelism
+// only changes wall-clock time.
+
+// workItem is one surviving candidate entering the evaluation stage.
+type workItem struct {
+	idx  int // enumeration index among survivors
+	frag *fragment.Fragmentation
+}
+
+// evalResult is the evaluation stage's output for one candidate.
+type evalResult struct {
+	idx  int
+	ev   *costmodel.Evaluation // nil when excluded or failed
+	vio  *fragment.Violation   // post-evaluation threshold violation
+	err  error                 // evaluation failure
+}
+
+// maxWorkers caps the evaluation pool: beyond it extra goroutines and
+// channel buffers only cost memory — no advisory has that many cores to
+// use.
+const maxWorkers = 1024
+
+// parallelism resolves the worker count: explicit value, or GOMAXPROCS,
+// clamped to [1, min(maxWorkers, maxCands)] so absurd Parallelism values
+// (or tiny candidate sets) cannot balloon goroutines and buffers.
+func (in *Input) parallelism(maxCands int) int {
+	p := in.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > maxWorkers {
+		p = maxWorkers
+	}
+	if p > maxCands {
+		p = maxCands
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// candidateSource returns the stream of (candidate, pre-check verdict)
+// pairs and an upper bound on its length: the explicit candidate list
+// when given, the lazy full enumeration otherwise.
+func (in *Input) candidateSource(th fragment.Thresholds) (iter.Seq2[*fragment.Fragmentation, *fragment.Violation], int) {
+	if in.Candidates != nil {
+		src := func(yield func(*fragment.Fragmentation, *fragment.Violation) bool) {
+			for _, f := range in.Candidates {
+				if !yield(f, th.PreCheck(in.Schema, f, in.Disk.PageSize)) {
+					return
+				}
+			}
+		}
+		return src, len(in.Candidates)
+	}
+	return fragment.EnumerateFilteredSeq(in.Schema, th, in.Disk.PageSize), int(fragment.EnumerationSize(in.Schema))
+}
+
+// AdviseContext runs the WARLOCK pipeline with cancellation: candidate
+// generation, threshold exclusion, parallel cost-model evaluation
+// (in.Parallelism workers) and streaming twofold ranking. On ctx
+// cancellation the stages drain cleanly — no goroutine outlives the call
+// — and ctx.Err() is returned. Results are identical for every
+// Parallelism value.
+func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	th := in.Thresholds
+	if th == (fragment.Thresholds{}) {
+		th = DefaultThresholds(in.Disk)
+	}
+	res := &Result{Input: in}
+	eval, err := costmodel.NewEvaluator(res.CostModelConfig())
+	if err != nil {
+		return nil, err
+	}
+	source, maxCands := in.candidateSource(th)
+	workers := in.parallelism(maxCands)
+
+	work := make(chan workItem, 2*workers)
+	out := make(chan evalResult, 2*workers)
+
+	// Stage 1: enumerate + prune. Runs in its own goroutine so candidates
+	// stream into the workers while later ones are still being generated.
+	// Pre-check violations are recorded here in enumeration order; the
+	// main goroutine reads them only after the pipeline fully drains.
+	var preVios []fragment.Violation
+	survivors := 0
+	go func() {
+		defer close(work)
+		for f, v := range source {
+			if ctx.Err() != nil {
+				return
+			}
+			if v != nil {
+				preVios = append(preVios, *v)
+				continue
+			}
+			item := workItem{idx: survivors, frag: f}
+			survivors++
+			select {
+			case work <- item:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 2: parallel evaluation + post-evaluation threshold check. The
+	// shared Evaluator is goroutine-safe and every evaluation is pure, so
+	// worker scheduling cannot influence any result. After cancellation
+	// the workers keep draining `work` without evaluating, so the
+	// producer never blocks on a full channel.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				if ctx.Err() != nil {
+					continue
+				}
+				r := evalResult{idx: item.idx}
+				switch ev, err := eval.Evaluate(item.frag); {
+				case err != nil:
+					r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
+				default:
+					// Post-evaluation threshold check (size-based
+					// exclusions under skew that the cheap pre-check
+					// could not decide).
+					if r.vio = th.Check(ev.Geometry); r.vio == nil {
+						r.ev = ev
+					}
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Stage 3: streaming rank + deterministic result assembly. The
+	// collector ingests evaluations as they complete (its total-order
+	// tie-break makes arrival order irrelevant); the ordered Result
+	// slices are restored from enumeration indices after the drain.
+	coll := rank.NewCollector(in.Rank, maxCands)
+	var done []evalResult
+	for r := range out {
+		if ctx.Err() != nil {
+			continue // discard; keep draining so the workers can exit
+		}
+		if r.ev != nil {
+			coll.Add(r.ev)
+		}
+		done = append(done, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].idx < done[j].idx })
+
+	res.Excluded = preVios
+	for _, r := range done {
+		switch {
+		case r.err != nil:
+			res.EvalFailures = append(res.EvalFailures, r.err)
+		case r.vio != nil:
+			res.Excluded = append(res.Excluded, *r.vio)
+		default:
+			res.Evaluations = append(res.Evaluations, r.ev)
+		}
+	}
+	if survivors == 0 {
+		return res, fmt.Errorf("%w: all %d candidates excluded by thresholds", ErrNoFeasible, len(res.Excluded))
+	}
+	if len(res.Evaluations) == 0 {
+		return res, fmt.Errorf("%w: no candidate survived evaluation", ErrNoFeasible)
+	}
+	ranked, err := coll.Ranked()
+	if err != nil {
+		return res, err
+	}
+	res.Ranked = ranked
+	return res, nil
+}

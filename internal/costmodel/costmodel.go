@@ -148,62 +148,15 @@ type Evaluation struct {
 	CapacityOK bool
 }
 
-// Evaluate runs the full model for one candidate.
+// Evaluate runs the full model for one candidate. Callers pricing many
+// candidates against the same configuration should build one Evaluator and
+// reuse it; this convenience wrapper rebuilds the shared state every call.
 func Evaluate(cfg *Config, f *fragment.Fragmentation) (*Evaluation, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	g, err := fragment.NewGeometry(cfg.Schema, f, cfg.Disk.PageSize, cfg.Mapping, cfg.MaxFragments)
+	e, err := NewEvaluator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	scheme, err := bitmap.PlanScheme(cfg.Schema, f, cfg.Mix, cfg.Bitmap)
-	if err != nil {
-		return nil, err
-	}
-	return evaluateWithGeometry(cfg, f, g, scheme)
-}
-
-func evaluateWithGeometry(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (*Evaluation, error) {
-	ev := &Evaluation{Frag: f, Geometry: g, Scheme: scheme}
-	ev.BitmapPagesTotal = scheme.SchemePages(g)
-
-	// Allocation weight: fact pages + co-located bitmap pages per fragment
-	// (bitmap fragmentation exactly follows the fact table fragmentation;
-	// each index's slices are packed per fragment).
-	allocPages := allocationPages(g, scheme)
-	var pl *alloc.Placement
-	var err error
-	if cfg.AllocScheme != nil {
-		pl, err = alloc.Allocate(*cfg.AllocScheme, allocPages, cfg.Disk.Disks)
-	} else {
-		pl, err = alloc.Choose(allocPages, cfg.Disk.Disks, cfg.SkewCVThreshold)
-	}
-	if err != nil {
-		return nil, err
-	}
-	ev.Placement = pl
-	capacityPages := cfg.Disk.CapacityBytes / int64(cfg.Disk.PageSize)
-	ev.CapacityOK = pl.FitsCapacity(capacityPages)
-
-	// Prefetch granules: configured values win; otherwise the advisor
-	// searches for the granules minimizing the weighted access cost
-	// ("WARLOCK offers the choice to set a fixed value or to determine
-	// itself optimal values for fact tables and bitmaps", §3.1).
-	factSuggest, bmSuggest := optimizeGranules(cfg, f, g, scheme)
-	ev.FactPrefetch = cfg.Disk.EffectivePrefetch(factSuggest)
-	ev.BitmapPrefetch = cfg.Disk.EffectiveBitmapPrefetch(bmSuggest)
-
-	weights := cfg.Mix.NormalizedWeights()
-	ev.PerClass = make([]ClassCost, len(cfg.Mix.Classes))
-	for i := range cfg.Mix.Classes {
-		cc := evaluateClass(cfg, f, g, scheme, pl, &cfg.Mix.Classes[i], ev.FactPrefetch, ev.BitmapPrefetch)
-		cc.Weight = weights[i]
-		ev.PerClass[i] = cc
-		ev.AccessCost += time.Duration(float64(cc.AccessCost) * cc.Weight)
-		ev.ResponseTime += time.Duration(float64(cc.ResponseTime) * cc.Weight)
-	}
-	return ev, nil
+	return e.Evaluate(f)
 }
 
 // DimCase classifies how one fragmentation attribute interacts with a
@@ -344,47 +297,6 @@ func (io FragmentIO) Seconds(d *disk.Params) float64 {
 	return (io.FactIOs+io.BitmapIOs)*pos + (io.FactPages+io.BitmapPages)*xfer
 }
 
-// evaluateClass computes the ClassCost of one class.
-func evaluateClass(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme, pl *alloc.Placement, c *workload.Class, factGranule, bmGranule int) ClassCost {
-	cc := ClassCost{Class: c, DiskBusy: make([]time.Duration, pl.Disks)}
-	plan := PlanClass(cfg.Schema, f, scheme, c)
-	cc.HitProb = plan.HitProb
-	n := g.NumFragments()
-	cc.FragmentsHit = plan.HitProb * float64(n)
-
-	// Per-fragment service time if hit, shared by the expectation terms
-	// below and by the hit-pattern enumeration.
-	tv := make([]float64, n)
-	busy := make([]float64, pl.Disks)
-	var totalBusy float64
-	for v := int64(0); v < n; v++ {
-		rows := g.Rows[v]
-		b := g.Pages[v]
-		if b == 0 {
-			continue
-		}
-		cc.SelectedRows += plan.HitProb * rows * plan.RowSel
-		io := FragmentCost(&plan, g.PageSize, b, rows, factGranule, bmGranule)
-		cc.FactIOs += plan.HitProb * io.FactIOs
-		cc.FactPages += plan.HitProb * io.FactPages
-		cc.BitmapIOs += plan.HitProb * io.BitmapIOs
-		cc.BitmapPages += plan.HitProb * io.BitmapPages
-
-		tv[v] = io.Seconds(&cfg.Disk)
-		w := plan.HitProb * tv[v]
-		busy[pl.DiskOf[v]] += w
-		totalBusy += w
-	}
-	for d, bz := range busy {
-		cc.DiskBusy[d] = time.Duration(bz * float64(time.Second))
-	}
-	cc.AccessCost = time.Duration(totalBusy * float64(time.Second))
-	resp, exact := expectedMaxResponse(cfg, &plan, g, pl, tv)
-	cc.ResponseTime = time.Duration(resp * float64(time.Second))
-	cc.ResponseExact = exact
-	return cc
-}
-
 // Bounds for the exact hit-pattern enumeration; beyond them the response
 // expectation falls back to deterministic seeded sampling.
 const (
@@ -452,9 +364,10 @@ func Ancestor(v, fineCard, coarseCard int, m skew.Mapping) int {
 
 // expectedMaxResponse computes E[max_disk busy] over the class's equally
 // likely hit patterns: exactly when the outcome space is tractable,
-// otherwise by deterministic sampling. Returns seconds and whether the
-// result is exact.
-func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl *alloc.Placement, tv []float64) (float64, bool) {
+// otherwise by deterministic sampling seeded with sampleSeed (derived
+// from the candidate and class, see SampleSeed — never from the clock).
+// Returns seconds and whether the result is exact.
+func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl *alloc.Placement, tv []float64, sampleSeed int64) (float64, bool) {
 	outcomes := Outcomes(plan, cfg.Mapping)
 	combos := 1
 	hitsPerCombo := 1
@@ -531,8 +444,8 @@ func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl 
 		}
 		return sum / float64(count), true
 	}
-	// Sampling fallback with a fixed seed for determinism.
-	rng := rand.New(rand.NewSource(1))
+	// Sampling fallback with a deterministic per-(candidate, class) seed.
+	rng := rand.New(rand.NewSource(sampleSeed))
 	choice := make([]int, len(outcomes))
 	var sum float64
 	for s := 0; s < responseSamples; s++ {
@@ -613,49 +526,6 @@ func cardenas(G, k float64) float64 {
 // configured explicitly.
 const PrefetchCap = 256
 
-// optimizeGranules searches the power-of-two granules up to PrefetchCap
-// for the fact-table and bitmap granules minimizing the workload-weighted
-// access cost on a representative (average-size) fragment. Fact and bitmap
-// costs are independent, so the two searches are separable.
-func optimizeGranules(cfg *Config, f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (factG, bmG int) {
-	st := g.Stats()
-	avgP := int64(st.AvgPages + 0.5)
-	if avgP < 1 {
-		avgP = 1
-	}
-	avgR := avgRows(g)
-	weights := cfg.Mix.NormalizedWeights()
-	plans := make([]ClassPlan, len(cfg.Mix.Classes))
-	for i := range cfg.Mix.Classes {
-		plans[i] = PlanClass(cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
-	}
-	cost := func(fg, bg int, factPart bool) float64 {
-		var total float64
-		for i := range plans {
-			io := FragmentCost(&plans[i], g.PageSize, avgP, avgR, fg, bg)
-			var part FragmentIO
-			if factPart {
-				part = FragmentIO{FactIOs: io.FactIOs, FactPages: io.FactPages}
-			} else {
-				part = FragmentIO{BitmapIOs: io.BitmapIOs, BitmapPages: io.BitmapPages}
-			}
-			total += weights[i] * plans[i].HitProb * part.Seconds(&cfg.Disk)
-		}
-		return total
-	}
-	pick := func(factPart bool) int {
-		best, bestCost := 1, math.Inf(1)
-		for gr := 1; gr <= PrefetchCap; gr *= 2 {
-			c := cost(gr, gr, factPart)
-			if c < bestCost {
-				best, bestCost = gr, c
-			}
-		}
-		return best
-	}
-	return pick(true), pick(false)
-}
-
 func avgRows(g *fragment.Geometry) float64 {
 	n := g.NumFragments()
 	if n == 0 {
@@ -690,10 +560,16 @@ func AllocationPages(ev *Evaluation) []int64 {
 }
 
 // EvaluateAll runs the model over a candidate list, skipping candidates
-// that fail (e.g. exceed MaxFragments) and reporting them.
+// that fail (e.g. exceed MaxFragments) and reporting them. The shared
+// state is built once and reused across candidates.
 func EvaluateAll(cfg *Config, cands []*fragment.Fragmentation) (evals []*Evaluation, failures []error) {
+	e, err := NewEvaluator(cfg)
+	if err != nil {
+		failures = append(failures, err)
+		return nil, failures
+	}
 	for _, f := range cands {
-		ev, err := Evaluate(cfg, f)
+		ev, err := e.Evaluate(f)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("%s: %w", f.Name(cfg.Schema), err))
 			continue

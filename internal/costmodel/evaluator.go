@@ -1,0 +1,234 @@
+package costmodel
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/bitmap"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// Evaluator is the reusable per-(schema, mix, disk) half of the cost
+// model: it validates the configuration once and computes everything
+// that does not depend on the fragmentation candidate — normalized
+// class weights eagerly, the skew-aggregated share vector of each
+// dimension attribute memoized on first use. A single Evaluator prices
+// many candidates; Evaluate is pure (no shared mutable state,
+// deterministically seeded sampling), so one Evaluator may be used from
+// any number of goroutines concurrently.
+type Evaluator struct {
+	cfg *Config
+	// weights are the normalized class weights, in mix order.
+	weights []float64
+	// shares[d][l] lazily computes (once, goroutine-safe) the per-value
+	// fact-row share vector of attribute (dim d, level l) under the
+	// configured mapping. Laziness keeps single-candidate evaluations as
+	// cheap as before the Evaluator existed; the pipeline amortizes each
+	// attribute's computation across every candidate using it. The
+	// resulting slices are read-only; geometries reference, never copy.
+	shares [][]func() ([]float64, error)
+	// capacityPages is the disk pool's total page capacity.
+	capacityPages int64
+}
+
+// NewEvaluator validates the configuration and precomputes the shared
+// evaluation state.
+func NewEvaluator(cfg *Config) (*Evaluator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		cfg:           cfg,
+		weights:       cfg.Mix.NormalizedWeights(),
+		capacityPages: cfg.Disk.CapacityBytes / int64(cfg.Disk.PageSize),
+	}
+	e.shares = make([][]func() ([]float64, error), len(cfg.Schema.Dimensions))
+	for d := range cfg.Schema.Dimensions {
+		dim := &cfg.Schema.Dimensions[d]
+		e.shares[d] = make([]func() ([]float64, error), len(dim.Levels))
+		for l := range dim.Levels {
+			a := schema.AttrRef{Dim: d, Level: l}
+			e.shares[d][l] = sync.OnceValues(func() ([]float64, error) {
+				return fragment.AttrShares(cfg.Schema, a, cfg.Mapping)
+			})
+		}
+	}
+	return e, nil
+}
+
+// Config returns the configuration the evaluator was built from.
+func (e *Evaluator) Config() *Config { return e.cfg }
+
+// Geometry computes the candidate's fragment geometry from the
+// precomputed share vectors.
+func (e *Evaluator) Geometry(f *fragment.Fragmentation) (*fragment.Geometry, error) {
+	attrs := f.Attrs()
+	shares := make([][]float64, len(attrs))
+	for i, a := range attrs {
+		up, err := e.shares[a.Dim][a.Level]()
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = up
+	}
+	return fragment.NewGeometryFromShares(e.cfg.Schema, f, e.cfg.Disk.PageSize, shares, e.cfg.MaxFragments)
+}
+
+// Evaluate runs the full model for one candidate. It is goroutine-safe:
+// concurrent evaluations of different (or identical) candidates on the
+// same Evaluator produce identical results to sequential ones.
+func (e *Evaluator) Evaluate(f *fragment.Fragmentation) (*Evaluation, error) {
+	g, err := e.Geometry(f)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := bitmap.PlanScheme(e.cfg.Schema, f, e.cfg.Mix, e.cfg.Bitmap)
+	if err != nil {
+		return nil, err
+	}
+	return e.evaluateWithGeometry(f, g, scheme)
+}
+
+func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (*Evaluation, error) {
+	cfg := e.cfg
+	ev := &Evaluation{Frag: f, Geometry: g, Scheme: scheme}
+	ev.BitmapPagesTotal = scheme.SchemePages(g)
+
+	// Allocation weight: fact pages + co-located bitmap pages per fragment
+	// (bitmap fragmentation exactly follows the fact table fragmentation;
+	// each index's slices are packed per fragment).
+	allocPages := allocationPages(g, scheme)
+	var pl *alloc.Placement
+	var err error
+	if cfg.AllocScheme != nil {
+		pl, err = alloc.Allocate(*cfg.AllocScheme, allocPages, cfg.Disk.Disks)
+	} else {
+		pl, err = alloc.Choose(allocPages, cfg.Disk.Disks, cfg.SkewCVThreshold)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.Placement = pl
+	ev.CapacityOK = pl.FitsCapacity(e.capacityPages)
+
+	// Prefetch granules: configured values win; otherwise the advisor
+	// searches for the granules minimizing the weighted access cost
+	// ("WARLOCK offers the choice to set a fixed value or to determine
+	// itself optimal values for fact tables and bitmaps", §3.1).
+	factSuggest, bmSuggest := e.optimizeGranules(f, g, scheme)
+	ev.FactPrefetch = cfg.Disk.EffectivePrefetch(factSuggest)
+	ev.BitmapPrefetch = cfg.Disk.EffectiveBitmapPrefetch(bmSuggest)
+
+	ev.PerClass = make([]ClassCost, len(cfg.Mix.Classes))
+	for i := range cfg.Mix.Classes {
+		cc := e.evaluateClass(f, g, scheme, pl, &cfg.Mix.Classes[i], ev.FactPrefetch, ev.BitmapPrefetch)
+		cc.Weight = e.weights[i]
+		ev.PerClass[i] = cc
+		ev.AccessCost += time.Duration(float64(cc.AccessCost) * cc.Weight)
+		ev.ResponseTime += time.Duration(float64(cc.ResponseTime) * cc.Weight)
+	}
+	return ev, nil
+}
+
+// evaluateClass computes the ClassCost of one class.
+func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme, pl *alloc.Placement, c *workload.Class, factGranule, bmGranule int) ClassCost {
+	cfg := e.cfg
+	cc := ClassCost{Class: c, DiskBusy: make([]time.Duration, pl.Disks)}
+	plan := PlanClass(cfg.Schema, f, scheme, c)
+	cc.HitProb = plan.HitProb
+	n := g.NumFragments()
+	cc.FragmentsHit = plan.HitProb * float64(n)
+
+	// Per-fragment service time if hit, shared by the expectation terms
+	// below and by the hit-pattern enumeration.
+	tv := make([]float64, n)
+	busy := make([]float64, pl.Disks)
+	var totalBusy float64
+	for v := int64(0); v < n; v++ {
+		rows := g.Rows[v]
+		b := g.Pages[v]
+		if b == 0 {
+			continue
+		}
+		cc.SelectedRows += plan.HitProb * rows * plan.RowSel
+		io := FragmentCost(&plan, g.PageSize, b, rows, factGranule, bmGranule)
+		cc.FactIOs += plan.HitProb * io.FactIOs
+		cc.FactPages += plan.HitProb * io.FactPages
+		cc.BitmapIOs += plan.HitProb * io.BitmapIOs
+		cc.BitmapPages += plan.HitProb * io.BitmapPages
+
+		tv[v] = io.Seconds(&cfg.Disk)
+		w := plan.HitProb * tv[v]
+		busy[pl.DiskOf[v]] += w
+		totalBusy += w
+	}
+	for d, bz := range busy {
+		cc.DiskBusy[d] = time.Duration(bz * float64(time.Second))
+	}
+	cc.AccessCost = time.Duration(totalBusy * float64(time.Second))
+	resp, exact := expectedMaxResponse(cfg, &plan, g, pl, tv, SampleSeed(f, c))
+	cc.ResponseTime = time.Duration(resp * float64(time.Second))
+	cc.ResponseExact = exact
+	return cc
+}
+
+// optimizeGranules searches the power-of-two granules up to PrefetchCap
+// for the fact-table and bitmap granules minimizing the workload-weighted
+// access cost on a representative (average-size) fragment. Fact and bitmap
+// costs are independent, so the two searches are separable.
+func (e *Evaluator) optimizeGranules(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (factG, bmG int) {
+	cfg := e.cfg
+	st := g.Stats()
+	avgP := int64(st.AvgPages + 0.5)
+	if avgP < 1 {
+		avgP = 1
+	}
+	avgR := avgRows(g)
+	plans := make([]ClassPlan, len(cfg.Mix.Classes))
+	for i := range cfg.Mix.Classes {
+		plans[i] = PlanClass(cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
+	}
+	cost := func(fg, bg int, factPart bool) float64 {
+		var total float64
+		for i := range plans {
+			io := FragmentCost(&plans[i], g.PageSize, avgP, avgR, fg, bg)
+			var part FragmentIO
+			if factPart {
+				part = FragmentIO{FactIOs: io.FactIOs, FactPages: io.FactPages}
+			} else {
+				part = FragmentIO{BitmapIOs: io.BitmapIOs, BitmapPages: io.BitmapPages}
+			}
+			total += e.weights[i] * plans[i].HitProb * part.Seconds(&cfg.Disk)
+		}
+		return total
+	}
+	pick := func(factPart bool) int {
+		best, bestCost := 1, math.Inf(1)
+		for gr := 1; gr <= PrefetchCap; gr *= 2 {
+			c := cost(gr, gr, factPart)
+			if c < bestCost {
+				best, bestCost = gr, c
+			}
+		}
+		return best
+	}
+	return pick(true), pick(false)
+}
+
+// SampleSeed derives the deterministic seed of the response-time sampling
+// fallback for one (candidate, class) pair: an FNV-1a hash of the
+// fragmentation key and the class name. Seeds never come from the clock
+// or the global rand source, so repeated runs, parallel runs, and
+// standalone Evaluate calls all price a candidate identically.
+func SampleSeed(f *fragment.Fragmentation, c *workload.Class) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(f.Key()))
+	h.Write([]byte{0})
+	h.Write([]byte(c.Name))
+	return int64(h.Sum64())
+}

@@ -1,0 +1,170 @@
+package costmodel
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/apb"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func apbConfig(t *testing.T) *Config {
+	t.Helper()
+	s := apb.Schema(1_000_000)
+	m, err := apb.Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := apb.Disk(16)
+	d.PrefetchPages = 4
+	d.BitmapPrefetchPages = 4
+	return &Config{Schema: s, Mix: m, Disk: d}
+}
+
+// TestEvaluatorMatchesEvaluate: the precomputed-state path must price
+// every candidate identically to the standalone wrapper.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	cfg := apbConfig(t)
+	e, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range fragment.Enumerate(cfg.Schema) {
+		if f.NumFragments(cfg.Schema) > 1<<12 {
+			continue // keep the cross-check fast
+		}
+		want, err := Evaluate(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Evaluate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.AccessCost != want.AccessCost || got.ResponseTime != want.ResponseTime {
+			t.Fatalf("%s: evaluator (%v, %v) != standalone (%v, %v)",
+				f.Name(cfg.Schema), got.AccessCost, got.ResponseTime, want.AccessCost, want.ResponseTime)
+		}
+		if !reflect.DeepEqual(got.PerClass, want.PerClass) {
+			t.Fatalf("%s: per-class predictions differ", f.Name(cfg.Schema))
+		}
+		n++
+	}
+	if n < 20 {
+		t.Fatalf("cross-checked only %d candidates", n)
+	}
+}
+
+// TestEvaluatorConcurrent: one Evaluator shared by many goroutines must
+// produce bit-for-bit the sequential results (run under -race in CI).
+func TestEvaluatorConcurrent(t *testing.T) {
+	cfg := apbConfig(t)
+	e, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []*fragment.Fragmentation
+	for _, f := range fragment.Enumerate(cfg.Schema) {
+		if f.NumFragments(cfg.Schema) <= 1<<12 {
+			cands = append(cands, f)
+		}
+	}
+	want := make([]*Evaluation, len(cands))
+	for i, f := range cands {
+		if want[i], err = e.Evaluate(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]*Evaluation, len(cands))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cands); i += 8 {
+				ev, err := e.Evaluate(cands[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[i] = ev
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range cands {
+		if got[i] == nil || got[i].AccessCost != want[i].AccessCost ||
+			got[i].ResponseTime != want[i].ResponseTime ||
+			!reflect.DeepEqual(got[i].PerClass, want[i].PerClass) {
+			t.Fatalf("concurrent evaluation of %s differs from sequential", cands[i].Name(cfg.Schema))
+		}
+	}
+}
+
+// TestSampleSeedKeying: seeds are deterministic and keyed by both the
+// candidate and the class, never the clock or a shared global source.
+func TestSampleSeedKeying(t *testing.T) {
+	cfg := apbConfig(t)
+	fs := fragment.Enumerate(cfg.Schema)
+	f1, f2 := fs[0], fs[1]
+	c1 := &cfg.Mix.Classes[0]
+	c2 := &cfg.Mix.Classes[1]
+	if SampleSeed(f1, c1) != SampleSeed(f1, c1) {
+		t.Fatal("seed not deterministic")
+	}
+	if SampleSeed(f1, c1) == SampleSeed(f2, c1) {
+		t.Fatal("seed must vary with the candidate")
+	}
+	if SampleSeed(f1, c1) == SampleSeed(f1, c2) {
+		t.Fatal("seed must vary with the class")
+	}
+}
+
+// TestSamplingPathDeterministic: a candidate priced on the sampling
+// fallback (outcome space beyond the exact-enumeration budget) must be
+// repeatable run-to-run — the regression test for the removal of
+// fixed/global sampler seeding.
+func TestSamplingPathDeterministic(t *testing.T) {
+	s := &schema.Star{
+		Name: "S",
+		Fact: schema.FactTable{Name: "F", Rows: 10_000_000, RowSize: 80},
+		Dimensions: []schema.Dimension{
+			{Name: "A", Levels: []schema.Level{{Name: "a", Cardinality: 100}}},
+			{Name: "B", Levels: []schema.Level{{Name: "b", Cardinality: 100}}},
+		},
+	}
+	m := &workload.Mix{Classes: []workload.Class{
+		{Name: "Q", Predicates: []schema.AttrRef{
+			{Dim: 0, Level: 0}, {Dim: 1, Level: 0},
+		}, Weight: 1},
+	}}
+	cfg := cfgWith(t, s, m)
+	f, err := fragment.Parse(s, "A.a", "B.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Evaluate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PerClass[0].ResponseExact {
+		t.Fatal("scenario should exercise the sampling fallback")
+	}
+	for i := 0; i < 3; i++ {
+		b, err := e.Evaluate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ResponseTime != a.ResponseTime || b.AccessCost != a.AccessCost {
+			t.Fatalf("run %d: sampled response %v != %v", i, b.ResponseTime, a.ResponseTime)
+		}
+	}
+}

@@ -183,6 +183,36 @@ const MaxFragmentsDefault = 4 << 20
 // fragmentation level with the given mapping. maxFragments <= 0 uses
 // MaxFragmentsDefault.
 func NewGeometry(s *schema.Star, f *Fragmentation, pageSize int, mapping skew.Mapping, maxFragments int64) (*Geometry, error) {
+	shares := make([][]float64, len(f.attrs))
+	for i, a := range f.attrs {
+		up, err := AttrShares(s, a, mapping)
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = up
+	}
+	return NewGeometryFromShares(s, f, pageSize, shares, maxFragments)
+}
+
+// AttrShares computes the per-value fact-row shares of one dimension
+// attribute: the dimension's bottom-level skew distribution aggregated to
+// the attribute's level with the given mapping. The result depends only on
+// (schema, attribute, mapping), so callers evaluating many candidates may
+// compute it once per attribute (see costmodel.Evaluator).
+func AttrShares(s *schema.Star, a schema.AttrRef, mapping skew.Mapping) ([]float64, error) {
+	d := &s.Dimensions[a.Dim]
+	bottom, err := skew.Shares(d.Bottom().Cardinality, d.SkewTheta)
+	if err != nil {
+		return nil, err
+	}
+	return skew.Aggregate(bottom, s.Cardinality(a), mapping)
+}
+
+// NewGeometryFromShares is NewGeometry with the per-attribute share
+// vectors (in Attrs() order) supplied by the caller; shares[i] must have
+// one entry per value of attribute i. The slices are referenced, not
+// copied — they must stay unmodified for the geometry's lifetime.
+func NewGeometryFromShares(s *schema.Star, f *Fragmentation, pageSize int, shares [][]float64, maxFragments int64) (*Geometry, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("fragment: page size %d", pageSize)
 	}
@@ -193,20 +223,7 @@ func NewGeometry(s *schema.Star, f *Fragmentation, pageSize int, mapping skew.Ma
 	if n > maxFragments {
 		return nil, fmt.Errorf("%w: %d > %d (%s)", ErrTooMany, n, maxFragments, f.Name(s))
 	}
-	g := &Geometry{Frag: f, PageSize: pageSize}
-	g.AttrShares = make([][]float64, len(f.attrs))
-	for i, a := range f.attrs {
-		d := &s.Dimensions[a.Dim]
-		bottom, err := skew.Shares(d.Bottom().Cardinality, d.SkewTheta)
-		if err != nil {
-			return nil, err
-		}
-		up, err := skew.Aggregate(bottom, s.Cardinality(a), mapping)
-		if err != nil {
-			return nil, err
-		}
-		g.AttrShares[i] = up
-	}
+	g := &Geometry{Frag: f, PageSize: pageSize, AttrShares: shares}
 	g.Rows = make([]float64, n)
 	g.Pages = make([]int64, n)
 	rowSize := float64(s.Fact.RowSize)
@@ -358,42 +375,22 @@ func (t Thresholds) PreCheck(s *schema.Star, f *Fragmentation, pageSize int) *Vi
 // dimension. The result is in deterministic order (lexicographic over the
 // per-dimension level choice, where "no attribute on this dimension" sorts
 // first). For the APB-1 schema this yields (6+1)(2+1)(3+1)(1+1)−1 = 167
-// candidates.
+// candidates. Enumerate materializes EnumerateSeq; streaming consumers
+// should range over the sequence directly.
 func Enumerate(s *schema.Star) []*Fragmentation {
-	nd := len(s.Dimensions)
-	choice := make([]int, nd) // 0 = dimension unused, k>0 = level k-1
-	var out []*Fragmentation
-	for {
-		// Build the candidate for the current choice vector.
-		var attrs []schema.AttrRef
-		for d, c := range choice {
-			if c > 0 {
-				attrs = append(attrs, schema.AttrRef{Dim: d, Level: c - 1})
-			}
-		}
-		if len(attrs) > 0 {
-			out = append(out, &Fragmentation{attrs: attrs})
-		}
-		// Advance the mixed-radix choice vector.
-		i := nd - 1
-		for ; i >= 0; i-- {
-			choice[i]++
-			if choice[i] <= len(s.Dimensions[i].Levels) {
-				break
-			}
-			choice[i] = 0
-		}
-		if i < 0 {
-			return out
-		}
+	out := make([]*Fragmentation, 0, EnumerationSize(s))
+	for f := range EnumerateSeq(s) {
+		out = append(out, f)
 	}
+	return out
 }
 
 // EnumerateFiltered enumerates candidates and drops those failing
-// Thresholds.PreCheck, returning survivors and violations.
+// Thresholds.PreCheck, returning survivors and violations. It materializes
+// EnumerateFilteredSeq.
 func EnumerateFiltered(s *schema.Star, t Thresholds, pageSize int) (kept []*Fragmentation, excluded []Violation) {
-	for _, f := range Enumerate(s) {
-		if v := t.PreCheck(s, f, pageSize); v != nil {
+	for f, v := range EnumerateFilteredSeq(s, t, pageSize) {
+		if v != nil {
 			excluded = append(excluded, *v)
 			continue
 		}

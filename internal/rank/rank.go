@@ -8,7 +8,6 @@ package rank
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"repro/internal/costmodel"
@@ -50,71 +49,15 @@ type Ranked struct {
 }
 
 // Rank applies the twofold heuristic and returns the final ranked list
-// (best compromise first).
+// (best compromise first). It is the slice entry point; the streaming
+// pipeline feeds a Collector directly as evaluations complete, so the
+// ranking stage needs no assembled, pre-ordered evaluation slice.
 func Rank(evals []*costmodel.Evaluation, opts Options) ([]Ranked, error) {
-	pct := opts.LeadingPercent
-	if pct <= 0 {
-		pct = DefaultLeadingPercent
-	}
-	minLead := opts.MinLeading
-	if minLead <= 0 {
-		minLead = DefaultMinLeading
-	}
-	pool := make([]*costmodel.Evaluation, 0, len(evals))
+	c := NewCollector(opts, len(evals))
 	for _, e := range evals {
-		if opts.RequireCapacity && !e.CapacityOK {
-			continue
-		}
-		pool = append(pool, e)
+		c.Add(e)
 	}
-	if len(pool) == 0 {
-		return nil, fmt.Errorf("%w (input %d, after capacity filter 0)", ErrNoCandidates, len(evals))
-	}
-
-	// Phase 1: order by total I/O access cost (ties: response time, then
-	// candidate key for determinism).
-	sort.SliceStable(pool, func(i, j int) bool {
-		if pool[i].AccessCost != pool[j].AccessCost {
-			return pool[i].AccessCost < pool[j].AccessCost
-		}
-		if pool[i].ResponseTime != pool[j].ResponseTime {
-			return pool[i].ResponseTime < pool[j].ResponseTime
-		}
-		return pool[i].Frag.Key() < pool[j].Frag.Key()
-	})
-	costRank := make(map[string]int, len(pool))
-	for i, e := range pool {
-		costRank[e.Frag.Key()] = i + 1
-	}
-
-	// Leading X%.
-	lead := int(float64(len(pool))*pct/100 + 0.999999)
-	if lead < minLead {
-		lead = minLead
-	}
-	if lead > len(pool) {
-		lead = len(pool)
-	}
-	leading := append([]*costmodel.Evaluation(nil), pool[:lead]...)
-
-	// Phase 2: re-rank the leading set by response time.
-	sort.SliceStable(leading, func(i, j int) bool {
-		if leading[i].ResponseTime != leading[j].ResponseTime {
-			return leading[i].ResponseTime < leading[j].ResponseTime
-		}
-		if leading[i].AccessCost != leading[j].AccessCost {
-			return leading[i].AccessCost < leading[j].AccessCost
-		}
-		return leading[i].Frag.Key() < leading[j].Frag.Key()
-	})
-	if opts.TopN > 0 && opts.TopN < len(leading) {
-		leading = leading[:opts.TopN]
-	}
-	out := make([]Ranked, len(leading))
-	for i, e := range leading {
-		out[i] = Ranked{Eval: e, CostRank: costRank[e.Frag.Key()], ResponseRank: i + 1}
-	}
-	return out, nil
+	return c.Ranked()
 }
 
 // ParetoFront returns the candidates not dominated in the (access cost,

@@ -1,0 +1,151 @@
+package rank
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fragment"
+	"repro/internal/schema"
+)
+
+// bigStar gives n distinct single-attribute fragmentation keys.
+func bigStar(n int) *schema.Star {
+	levels := make([]schema.Level, n)
+	for i := range levels {
+		levels[i] = schema.Level{Name: string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)), Cardinality: i + 1}
+	}
+	return &schema.Star{
+		Name:       "R",
+		Fact:       schema.FactTable{Name: "F", Rows: 1000, RowSize: 10},
+		Dimensions: []schema.Dimension{{Name: "D", Levels: levels}},
+	}
+}
+
+func randomEvals(t *testing.T, rng *rand.Rand, n int, withTies, capFlips bool) []*costmodel.Evaluation {
+	t.Helper()
+	s := bigStar(n)
+	evals := make([]*costmodel.Evaluation, n)
+	for i := range evals {
+		access := time.Duration(rng.Intn(40)+1) * time.Second
+		resp := time.Duration(rng.Intn(40)+1) * time.Second
+		if !withTies {
+			access = time.Duration(rng.Int63n(1 << 40))
+			resp = time.Duration(rng.Int63n(1 << 40))
+		}
+		capOK := true
+		if capFlips {
+			capOK = rng.Intn(4) != 0
+		}
+		f, err := fragment.New(s, schema.AttrRef{Dim: 0, Level: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evals[i] = &costmodel.Evaluation{Frag: f, AccessCost: access, ResponseTime: resp, CapacityOK: capOK}
+	}
+	return evals
+}
+
+// TestCollectorMatchesRankAnyOrder: a bounded collector fed any
+// permutation of the stream reproduces Rank over the full slice exactly.
+func TestCollectorMatchesRankAnyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(120) + 1
+		evals := randomEvals(t, rng, n, trial%2 == 0, trial%3 == 0)
+		opts := Options{
+			LeadingPercent:  []float64{0, 5, 10, 50, 100}[rng.Intn(5)],
+			MinLeading:      rng.Intn(4),
+			TopN:            rng.Intn(8),
+			RequireCapacity: trial%3 == 0,
+		}
+		want, wantErr := Rank(evals, opts)
+		c := NewCollector(opts, len(evals))
+		for _, i := range rng.Perm(n) {
+			c.Add(evals[i])
+		}
+		got, gotErr := c.Ranked()
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: err %v vs %v", trial, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, opts=%+v): collector ranking differs from Rank", trial, n, opts)
+		}
+	}
+}
+
+// TestCollectorBoundedMemory: the heap never retains more than the
+// leading-set size of the declared maximum.
+func TestCollectorBoundedMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 400
+	evals := randomEvals(t, rng, n, false, false)
+	opts := Options{LeadingPercent: 10, MinLeading: 5}
+	c := NewCollector(opts, n)
+	bound := leadSize(n, 10, 5) // 40
+	for _, e := range evals {
+		c.Add(e)
+		if c.Kept() > bound {
+			t.Fatalf("heap grew to %d > bound %d", c.Kept(), bound)
+		}
+	}
+	got, err := c.Ranked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Rank(evals, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bounded collector differs from full Rank")
+	}
+	if c.Kept() != bound || c.Seen() != n {
+		t.Fatalf("Kept=%d Seen=%d, want %d/%d", c.Kept(), c.Seen(), bound, n)
+	}
+}
+
+// TestCollectorShortStream: a stream far below the declared maximum still
+// ranks exactly (the X% cut uses the true pool size, not the bound).
+func TestCollectorShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	evals := randomEvals(t, rng, 12, false, false)
+	opts := Options{LeadingPercent: 25, MinLeading: 2}
+	c := NewCollector(opts, 10_000)
+	for _, e := range evals {
+		c.Add(e)
+	}
+	got, err := c.Ranked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Rank(evals, opts)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("short stream under large bound differs from Rank")
+	}
+	// Leading 25% of 12 = 3, not 25% of the 10k bound.
+	if len(got) != 3 {
+		t.Fatalf("leading set = %d, want 3", len(got))
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector(Options{RequireCapacity: true}, 5)
+	if _, err := c.Ranked(); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("got %v", err)
+	}
+	// Capacity-filtered adds still produce the informative count.
+	rng := rand.New(rand.NewSource(1))
+	evals := randomEvals(t, rng, 3, false, false)
+	for _, e := range evals {
+		e.CapacityOK = false
+		c.Add(e)
+	}
+	_, err := c.Ranked()
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -18,12 +18,23 @@
 //	})
 //	fmt.Println(warlock.Report(res))
 //
+// # Concurrency
+//
+// The prediction layer runs as a concurrent streaming pipeline: lazy
+// candidate enumeration, threshold pruning, a pool of cost-model workers,
+// and a streaming top-k ranking stage. Input.Parallelism sets the worker
+// count (<= 0 uses GOMAXPROCS); results are bit-for-bit identical for
+// every value, so the knob trades wall-clock time only. AdviseContext
+// adds cancellation: on ctx cancellation the pipeline drains cleanly and
+// the context's error is returned.
+//
 // The package re-exports the stable subset of the internal building
 // blocks; advanced users may also assemble the pipeline from the pieces
 // (fragmentation enumeration, cost model, allocation, simulation).
 package warlock
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -120,8 +131,17 @@ const (
 )
 
 // Advise runs the full WARLOCK pipeline: candidate generation, threshold
-// exclusion, cost-model evaluation and twofold ranking.
+// exclusion, parallel cost-model evaluation (Input.Parallelism workers)
+// and streaming twofold ranking.
 func Advise(in *Input) (*Result, error) { return core.Advise(in) }
+
+// AdviseContext is Advise with cancellation: when ctx is cancelled the
+// pipeline stages drain cleanly, no goroutine outlives the call, and the
+// context's error is returned. Results are identical to Advise for every
+// Parallelism value.
+func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
+	return core.AdviseContext(ctx, in)
+}
 
 // AdviseMulti advises several fact tables sharing one disk pool and
 // co-allocates their winning fragmentations (paper §2: "one or more fact
@@ -167,6 +187,18 @@ func EnumerateFragmentations(s *Star) []*Fragmentation { return fragment.Enumera
 func Evaluate(in *Input, f *Fragmentation) (*Evaluation, error) {
 	res := &core.Result{Input: in}
 	return costmodel.Evaluate(res.CostModelConfig(), f)
+}
+
+// Evaluator is the reusable, goroutine-safe cost-model front end: it
+// precomputes the per-(schema, mix, disk) state once so pricing many
+// candidates — possibly from many goroutines — skips the repeated setup.
+type Evaluator = costmodel.Evaluator
+
+// NewEvaluator builds an Evaluator from the advisor input's
+// configuration.
+func NewEvaluator(in *Input) (*Evaluator, error) {
+	res := &core.Result{Input: in}
+	return costmodel.NewEvaluator(res.CostModelConfig())
 }
 
 // Report renders the complete advisor report (ranked candidates, database

@@ -2,6 +2,8 @@ package warlock_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -186,5 +188,52 @@ func TestPublicSkewHelpers(t *testing.T) {
 	shares, err := warlock.ZipfShares(10, 1)
 	if err != nil || len(shares) != 10 {
 		t.Fatalf("ZipfShares: %v %v", shares, err)
+	}
+}
+
+func TestPublicAdviseContextAndParallelism(t *testing.T) {
+	in := smallInput(t)
+	in.Parallelism = 2
+	res, err := warlock.AdviseContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := smallInput(t)
+	serial.Parallelism = 1
+	want, err := warlock.Advise(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Frag.Key() != want.Best().Frag.Key() ||
+		res.Best().AccessCost != want.Best().AccessCost {
+		t.Fatal("parallel winner differs from serial winner")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := warlock.AdviseContext(ctx, smallInput(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled advise: %v", err)
+	}
+}
+
+func TestPublicEvaluator(t *testing.T) {
+	in := smallInput(t)
+	e, err := warlock.NewEvaluator(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := warlock.ParseFragmentation(in.Schema, "Time.month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Evaluate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := warlock.Evaluate(in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AccessCost != want.AccessCost || got.ResponseTime != want.ResponseTime {
+		t.Fatal("Evaluator disagrees with Evaluate")
 	}
 }
