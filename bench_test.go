@@ -8,6 +8,7 @@ package repro
 // these benchmarks track the cost of regenerating them.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/skew"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 	"repro/internal/validate"
 )
 
@@ -51,6 +53,47 @@ func BenchmarkAdvise(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepVsColdAdvise contrasts the what-if sweep engine with N
+// independent cold Advise calls over the same 12-scenario grid (disks ×
+// mix × parallelism). The sweep advises each parallelism-equivalent
+// group once and shares candidate geometries across disk counts and
+// mixes, so it must beat the cold loop while returning bit-identical
+// per-scenario results (asserted by the sweep package tests).
+func BenchmarkSweepVsColdAdvise(b *testing.B) {
+	in := benchInput(b, 0, 0, 16)
+	grid := &sweep.Grid{
+		Disks: []int{8, 16, 32},
+		MixScales: []sweep.MixScale{
+			{Name: "base"},
+			{Name: "boost-Q3", Factors: map[string]float64{"Q3-store-month": 8}},
+		},
+		Parallelism: []int{1, runtime.GOMAXPROCS(0)},
+	}
+	scens, err := sweep.Expand(in, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(scens) != 12 {
+		b.Fatalf("grid has %d scenarios, want 12", len(scens))
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scens {
+				if _, err := core.Advise(sc.Input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Run(context.Background(), in, grid, sweep.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchInput(b *testing.B, productTheta, customerTheta float64, disks int) *core.Input {

@@ -8,7 +8,6 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"repro/internal/alloc"
 	"repro/internal/analysis"
 	"repro/internal/apb"
 	"repro/internal/bitmap"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/rank"
 	"repro/internal/sim"
 	"repro/internal/skew"
+	"repro/internal/sweep"
 	"repro/internal/validate"
 )
 
@@ -55,7 +55,10 @@ func runE1(p params) error {
 	return nil
 }
 
-// runE2 sweeps the disk count for the best 1-D, 2-D and 3-D candidates.
+// runE2 sweeps the disk count for the best 1-D, 2-D and 3-D candidates:
+// one sweep definition over the disks axis, restricted to the three
+// picked candidates, evaluated through the shared memoizing pipeline
+// (each candidate's geometry is computed once, not once per disk count).
 func runE2(p params) error {
 	in, err := input(p, 0, 0)
 	if err != nil {
@@ -76,22 +79,32 @@ func runE2(p params) error {
 	w := tw()
 	fmt.Fprint(w, "DISKS")
 	var picks []*costmodel.Evaluation
+	base := *in
+	// Pinned candidates are evaluated unconditionally (the what-if grids
+	// replicate the old direct Evaluate calls, which bypassed thresholds).
+	base.Thresholds = fragment.Thresholds{MaxFragments: fragment.MaxFragmentsDefault}
 	for d := 1; d <= 3; d++ {
 		if ev, ok := bestBy[d]; ok {
 			picks = append(picks, ev)
+			base.Candidates = append(base.Candidates, ev.Frag)
 			fmt.Fprintf(w, "\t%s (resp ms)", ev.Frag.Name(in.Schema))
 		}
 	}
 	fmt.Fprintln(w)
-	for _, disks := range []int{4, 8, 16, 32, 64, 128, 256} {
-		fmt.Fprintf(w, "%d", disks)
+	disks := []int{4, 8, 16, 32, 64, 128, 256}
+	rep, err := sweep.Run(context.Background(), &base, &sweep.Grid{Disks: disks}, sweep.Options{})
+	if err != nil {
+		return err
+	}
+	for i, sr := range rep.Scenarios {
+		if sr.Err != nil {
+			return sr.Err
+		}
+		fmt.Fprintf(w, "%d", disks[i])
 		for _, pick := range picks {
-			cfg := res.CostModelConfig()
-			cfgCopy := *cfg
-			cfgCopy.Disk.Disks = disks
-			ev, err := costmodel.Evaluate(&cfgCopy, pick.Frag)
-			if err != nil {
-				return err
+			ev := sr.Result.Find(pick.Frag.Key())
+			if ev == nil {
+				return fmt.Errorf("e2: candidate %s missing at %s", pick.Frag.Name(in.Schema), sr.Name)
 			}
 			fmt.Fprintf(w, "\t%.1f", ms(ev.ResponseTime))
 		}
@@ -102,7 +115,9 @@ func runE2(p params) error {
 	return nil
 }
 
-// runE3 sweeps the prefetch granule for the winner.
+// runE3 sweeps the prefetch granule for the winner: a prefetch-axis
+// sweep definition restricted to the winning candidate (granule 0 =
+// advisor-optimized).
 func runE3(p params) error {
 	in, err := input(p, 0, 0)
 	if err != nil {
@@ -113,58 +128,69 @@ func runE3(p params) error {
 		return err
 	}
 	best := res.Best()
-	w := tw()
-	fmt.Fprintln(w, "GRANULE (pages)\tI/O COST (ms)\tRESPONSE (ms)")
-	cfg := res.CostModelConfig()
-	for _, g := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
-		c := *cfg
-		c.Disk.PrefetchPages = g
-		c.Disk.BitmapPrefetchPages = g
-		ev, err := costmodel.Evaluate(&c, best.Frag)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%d\t%.1f\t%.1f\n", g, ms(ev.AccessCost), ms(ev.ResponseTime))
-	}
-	// Advisor-optimized granules.
-	c := *cfg
-	c.Disk.PrefetchPages = 0
-	c.Disk.BitmapPrefetchPages = 0
-	ev, err := costmodel.Evaluate(&c, best.Frag)
+	base := *in
+	base.Candidates = []*fragment.Fragmentation{best.Frag}
+	base.Thresholds = fragment.Thresholds{MaxFragments: fragment.MaxFragmentsDefault}
+	granules := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 0}
+	rep, err := sweep.Run(context.Background(), &base, &sweep.Grid{Prefetch: granules}, sweep.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "auto (%d/%d)\t%.1f\t%.1f\n", ev.FactPrefetch, ev.BitmapPrefetch, ms(ev.AccessCost), ms(ev.ResponseTime))
+	w := tw()
+	fmt.Fprintln(w, "GRANULE (pages)\tI/O COST (ms)\tRESPONSE (ms)")
+	for i, sr := range rep.Scenarios {
+		if sr.Err != nil {
+			return sr.Err
+		}
+		ev := sr.Best()
+		if granules[i] == 0 {
+			fmt.Fprintf(w, "auto (%d/%d)\t%.1f\t%.1f\n", ev.FactPrefetch, ev.BitmapPrefetch, ms(ev.AccessCost), ms(ev.ResponseTime))
+		} else {
+			fmt.Fprintf(w, "%d\t%.1f\t%.1f\n", granules[i], ms(ev.AccessCost), ms(ev.ResponseTime))
+		}
+	}
 	w.Flush()
 	fmt.Printf("(fragmentation: %s)\n", best.Frag.Name(in.Schema))
 	return nil
 }
 
-// runE4 contrasts round-robin and greedy allocation under growing skew.
+// runE4 contrasts round-robin and greedy allocation under growing skew:
+// a skew-axis × allocation-axis sweep definition on the Customer.store
+// fragmentation.
 func runE4(p params) error {
+	in, err := input(p, 0, 0)
+	if err != nil {
+		return err
+	}
+	f, err := fragment.Parse(in.Schema, "Customer.store")
+	if err != nil {
+		return err
+	}
+	base := *in
+	base.Candidates = []*fragment.Fragmentation{f}
+	base.Thresholds = fragment.Thresholds{MaxFragments: fragment.MaxFragmentsDefault}
+	thetas := []float64{0, 0.5, 0.86, 1.0}
+	grid := &sweep.Grid{Allocs: []string{sweep.AllocRoundRobin, sweep.AllocGreedySize}}
+	for _, theta := range thetas {
+		grid.Skews = append(grid.Skews, sweep.SkewSetting{
+			Name:  fmt.Sprintf("%.2f", theta),
+			Theta: map[string]float64{"Customer": theta},
+		})
+	}
+	rep, err := sweep.Run(context.Background(), &base, grid, sweep.Options{})
+	if err != nil {
+		return err
+	}
 	w := tw()
 	fmt.Fprintln(w, "THETA\tSCHEME\tLOAD CV\tIMBALANCE\tRESPONSE (ms)")
-	for _, theta := range []float64{0, 0.5, 0.86, 1.0} {
-		in, err := input(p, 0, theta) // skew on Customer
-		if err != nil {
-			return err
+	for _, sr := range rep.Scenarios {
+		if sr.Err != nil {
+			return sr.Err
 		}
-		f, err := fragment.Parse(in.Schema, "Customer.store")
-		if err != nil {
-			return err
-		}
-		for _, scheme := range []alloc.Scheme{alloc.RoundRobin, alloc.GreedySize} {
-			sc := scheme
-			cfg := (&core.Result{Input: in}).CostModelConfig()
-			cfg.AllocScheme = &sc
-			ev, err := costmodel.Evaluate(cfg, f)
-			if err != nil {
-				return err
-			}
-			st := ev.Placement.Stats()
-			fmt.Fprintf(w, "%.2f\t%s\t%.3f\t%.3f\t%.1f\n",
-				theta, scheme, st.CV, st.Imbalance, ms(ev.ResponseTime))
-		}
+		ev := sr.Best()
+		st := ev.Placement.Stats()
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.1f\n",
+			sr.Skew, ev.Placement.Scheme, st.CV, st.Imbalance, ms(ev.ResponseTime))
 	}
 	w.Flush()
 	fmt.Println("(greedy should keep imbalance near 1.0 as theta grows; round-robin degrades)")
@@ -279,24 +305,26 @@ func runE7(p params) error {
 	return nil
 }
 
-// runE8 scales the fact table volume.
+// runE8 scales the fact table volume: a rows-axis sweep definition.
 func runE8(p params) error {
+	in, err := input(p, 0, 0)
+	if err != nil {
+		return err
+	}
+	rowsAxis := []int64{1_000_000, 4_000_000, 16_000_000, 64_000_000}
+	rep, err := sweep.Run(context.Background(), in, &sweep.Grid{Rows: rowsAxis}, sweep.Options{})
+	if err != nil {
+		return err
+	}
 	w := tw()
 	fmt.Fprintln(w, "ROWS\tWINNER\tFRAGMENTS\tI/O COST (ms)\tRESPONSE (ms)")
-	for _, rows := range []int64{1_000_000, 4_000_000, 16_000_000, 64_000_000} {
-		q := p
-		q.rows = rows
-		in, err := input(q, 0, 0)
-		if err != nil {
-			return err
+	for _, sr := range rep.Scenarios {
+		if sr.Err != nil {
+			return sr.Err
 		}
-		res, err := core.Advise(in)
-		if err != nil {
-			return err
-		}
-		best := res.Best()
+		best := sr.Best()
 		fmt.Fprintf(w, "%d\t%s\t%d\t%.1f\t%.1f\n",
-			rows, best.Frag.Name(in.Schema), best.Geometry.NumFragments(),
+			sr.Rows, best.Frag.Name(sr.Input.Schema), best.Geometry.NumFragments(),
 			ms(best.AccessCost), ms(best.ResponseTime))
 	}
 	w.Flush()
@@ -337,35 +365,40 @@ func runE9(p params) error {
 	return nil
 }
 
-// runE10 perturbs per-class weights and watches the winner.
+// runE10 perturbs per-class weights and watches the winner: a query-mix
+// reweighting sweep definition, the base mix as the reference scenario.
 func runE10(p params) error {
 	in, err := input(p, 0, 0)
 	if err != nil {
 		return err
 	}
-	base, err := core.Advise(in)
+	grid := &sweep.Grid{MixScales: []sweep.MixScale{{Name: "base"}}}
+	for _, c := range in.Mix.Classes {
+		grid.MixScales = append(grid.MixScales, sweep.MixScale{
+			Name:    c.Name,
+			Factors: map[string]float64{c.Name: 8},
+		})
+	}
+	rep, err := sweep.Run(context.Background(), in, grid, sweep.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("base winner: %s\n", base.Best().Frag.Name(in.Schema))
+	if err := rep.Scenarios[0].Err; err != nil {
+		return err
+	}
+	baseKey := rep.Scenarios[0].Best().Frag.Key()
+	fmt.Printf("base winner: %s\n", rep.Scenarios[0].Best().Frag.Name(in.Schema))
 	w := tw()
 	fmt.Fprintln(w, "BOOSTED CLASS (x8)\tWINNER\tCHANGED")
-	for _, c := range in.Mix.Classes {
-		boosted, err := in.Mix.Scale(c.Name, 8)
-		if err != nil {
-			return err
-		}
-		in2 := *in
-		in2.Mix = boosted
-		res, err := core.Advise(&in2)
-		if err != nil {
-			return err
+	for _, sr := range rep.Scenarios[1:] {
+		if sr.Err != nil {
+			return sr.Err
 		}
 		changed := ""
-		if res.Best().Frag.Key() != base.Best().Frag.Key() {
+		if sr.Best().Frag.Key() != baseKey {
 			changed = "*"
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\n", c.Name, res.Best().Frag.Name(in.Schema), changed)
+		fmt.Fprintf(w, "%s\t%s\t%s\n", sr.Mix, sr.Best().Frag.Name(in.Schema), changed)
 	}
 	w.Flush()
 	return nil
@@ -547,44 +580,71 @@ func runF2(p params) error {
 	return nil
 }
 
-// runE14 measures the concurrent streaming pipeline: the same advisory at
-// 1 worker and at GOMAXPROCS workers, asserting identical rankings and
-// reporting the wall-clock speedup of the parallel evaluation stage.
+// runE14 measures the what-if sweep engine: the same scenario grid
+// evaluated as N independent cold advisories versus one shared-state
+// sweep (memoized geometries, one advisory per parallelism-equivalent
+// group, concurrent scenarios). Winners are asserted identical per
+// scenario; the table reports the wall-clock speedup the sharing buys.
 func runE14(p params) error {
 	in, err := input(p, 0, 0)
 	if err != nil {
 		return err
 	}
-	points := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		points = append(points, n)
-	} else {
-		fmt.Println("(single CPU: GOMAXPROCS=1, parallel run would repeat the serial one — skipped)")
+	// Quarter/half/full disk counts, deduplicated and capped at the
+	// configuration under study (tiny -disks values collapse the axis).
+	var diskAxis []int
+	for _, d := range []int{p.disks / 4, p.disks / 2, p.disks} {
+		if d < 1 {
+			d = 1
+		}
+		if len(diskAxis) == 0 || d > diskAxis[len(diskAxis)-1] {
+			diskAxis = append(diskAxis, d)
+		}
 	}
-	w := tw()
-	fmt.Fprintln(w, "WORKERS\tWALL\tWINNER\tSPEEDUP")
-	var serial time.Duration
-	var winnerKey string
-	for _, workers := range points {
-		run := *in
-		run.Parallelism = workers
-		start := time.Now()
-		res, err := core.AdviseContext(context.Background(), &run)
-		if err != nil {
+	grid := &sweep.Grid{
+		Disks: diskAxis,
+		MixScales: []sweep.MixScale{
+			{Name: "base"},
+			{Name: "boost-Q3", Factors: map[string]float64{"Q3-store-month": 8}},
+		},
+		Parallelism: []int{1, runtime.GOMAXPROCS(0)},
+	}
+	scens, err := sweep.Expand(in, grid)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cold := make([]*core.Result, len(scens))
+	for i := range scens {
+		if cold[i], err = core.Advise(scens[i].Input); err != nil {
 			return err
 		}
-		wall := time.Since(start)
-		key := res.Best().Frag.Key()
-		if workers == 1 {
-			serial, winnerKey = wall, key
-		} else if key != winnerKey {
-			return fmt.Errorf("parallel winner %s differs from serial %s", key, winnerKey)
-		}
-		fmt.Fprintf(w, "%d\t%v\t%s\t%.2fx\n",
-			workers, wall.Round(time.Millisecond), res.Best().Frag.Name(in.Schema),
-			float64(serial)/float64(wall))
 	}
+	coldWall := time.Since(start)
+	start = time.Now()
+	rep, err := sweep.Run(context.Background(), in, grid, sweep.Options{})
+	if err != nil {
+		return err
+	}
+	sweepWall := time.Since(start)
+	for i, sr := range rep.Scenarios {
+		if sr.Err != nil {
+			return sr.Err
+		}
+		if got, want := sr.Best().Frag.Key(), cold[i].Best().Frag.Key(); got != want {
+			return fmt.Errorf("scenario %s: sweep winner %s differs from cold advise %s", sr.Name, got, want)
+		}
+	}
+	w := tw()
+	fmt.Fprintln(w, "PIPELINE\tSCENARIOS\tADVISORIES\tWALL\tSPEEDUP")
+	fmt.Fprintf(w, "cold (independent Advise)\t%d\t%d\t%v\t1.00x\n",
+		len(scens), len(scens), coldWall.Round(time.Millisecond))
+	fmt.Fprintf(w, "sweep (shared state)\t%d\t%d\t%v\t%.2fx\n",
+		len(rep.Scenarios), rep.Advisories, sweepWall.Round(time.Millisecond),
+		float64(coldWall)/float64(sweepWall))
 	w.Flush()
-	fmt.Println("(identical ranked results by construction; the workers split the cost-model stage)")
+	fmt.Println("(identical ranked results per scenario by construction; the sweep shares")
+	fmt.Println(" geometries across disk counts and mixes, advises each parallelism group once,")
+	fmt.Println(" and runs scenario advisories concurrently)")
 	return nil
 }

@@ -151,7 +151,7 @@ func TestE13Output(t *testing.T) {
 
 func TestE14Output(t *testing.T) {
 	out := captureExperiment(t, "e14")
-	for _, want := range []string{"WORKERS", "SPEEDUP", "identical ranked results"} {
+	for _, want := range []string{"SCENARIOS", "ADVISORIES", "SPEEDUP", "identical ranked results"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("e14 missing %q:\n%s", want, out)
 		}

@@ -46,7 +46,7 @@ var experiments = []experiment{
 	{"e11", "cost model vs executed storage layout (materialized rows + bitmaps)", runE11},
 	{"e12", "multi-user throughput: analytical estimate vs open-system simulation", runE12},
 	{"e13", "range-size ablation: why WARLOCK restricts to point fragmentations", runE13},
-	{"e14", "concurrent pipeline: serial vs parallel advisory wall-clock, identical results", runE14},
+	{"e14", "sweep engine: shared-state scenario grid vs independent cold advisories", runE14},
 	{"f1", "Fig.1 pipeline: end-to-end advisor run summary", runF1},
 	{"f2", "Fig.2 panels: full analysis report of the winner", runF2},
 }

@@ -11,6 +11,15 @@
 //	warlock -apb1 -rows 24000000 -disks 64
 //	warlock -apb1 -candidates-csv out.csv # export the ranked list
 //	warlock -apb1 -simulate 200           # validate the winner by simulation
+//
+// What-if sweeps evaluate a declarative scenario grid (disk counts,
+// query-mix reweightings, skew, prefetch, allocation schemes) through
+// one shared, memoizing pipeline and rank the scenarios — e.g. the
+// smallest disk count meeting a response-time target:
+//
+//	warlock -emit-sweep-example > sweep.json
+//	warlock -sweep sweep.json                  # tabular scenario report
+//	warlock -sweep sweep.json -sweep-json out.json
 package main
 
 import (
@@ -19,11 +28,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -56,6 +67,11 @@ func run(ctx context.Context, args []string) error {
 		simulate      = fs.Int("simulate", 0, "validate the winner with N simulated queries")
 		simRate       = fs.Float64("sim-rate", 0, "multi-user arrival rate (queries/s); 0 = single-user")
 		seed          = fs.Int64("seed", 1, "simulation seed")
+
+		sweepPath    = fs.String("sweep", "", "JSON sweep definition: evaluate a what-if scenario grid (see -emit-sweep-example)")
+		sweepJSON    = fs.String("sweep-json", "", "write the machine-readable sweep report to this JSON file")
+		sweepWorkers = fs.Int("sweep-workers", 0, "concurrent scenario advisories (0 = GOMAXPROCS)")
+		emitSweep    = fs.Bool("emit-sweep-example", false, "print an example sweep definition and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +79,12 @@ func run(ctx context.Context, args []string) error {
 
 	if *emitExample {
 		return config.FromAPB1(*rows, *disks).Encode(os.Stdout)
+	}
+	if *emitSweep {
+		return config.ExampleSweep(*rows, *disks).Encode(os.Stdout)
+	}
+	if *sweepPath != "" {
+		return runSweep(ctx, *sweepPath, *sweepJSON, *sweepWorkers)
 	}
 
 	var in *core.Input
@@ -147,6 +169,55 @@ func run(ctx context.Context, args []string) error {
 			fmt.Printf("single-user: mean %v  p95 %v  max %v (analytical %v)\n",
 				m.MeanResponse, m.P95Response, m.MaxResponse, best.ResponseTime)
 		}
+	}
+	return nil
+}
+
+// runSweep evaluates the scenario grid of a sweep definition file and
+// prints the tabular report plus the recommendation (smallest disk count
+// meeting the response-time target, when one is configured).
+func runSweep(ctx context.Context, path, jsonPath string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := config.ParseSweep(f)
+	if err != nil {
+		return err
+	}
+	base, grid, target, err := doc.Build()
+	if err != nil {
+		return err
+	}
+	rep, err := sweep.Run(ctx, base, grid, sweep.Options{Workers: workers, ResponseTarget: target})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d scenarios, %d advisories run (shared-state pipeline)\n\n", len(rep.Scenarios), rep.Advisories)
+	if err := rep.Table(os.Stdout); err != nil {
+		return err
+	}
+	if best := rep.Best(); best != nil {
+		switch {
+		case best.MeetsTarget(target):
+			fmt.Printf("\nrecommended: %s (response target %v)\n", best.Name, target)
+		case target > 0:
+			fmt.Printf("\nno scenario meets the %v response target; fastest: %s\n", target, best.Name)
+		default:
+			fmt.Printf("\nfastest scenario: %s\n", best.Name)
+		}
+		fmt.Printf("  winner %s  response %v  I/O cost %v  disks %d\n",
+			best.Best().Frag.Name(best.Input.Schema),
+			best.Best().ResponseTime.Round(time.Millisecond/10),
+			best.Best().AccessCost.Round(time.Millisecond/10),
+			best.Input.Disk.Disks)
+	}
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, func(f *os.File) error { return rep.WriteJSON(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("\nsweep report written to %s\n", jsonPath)
 	}
 	return nil
 }

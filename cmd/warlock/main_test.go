@@ -59,6 +59,49 @@ func TestRunAPB1Preset(t *testing.T) {
 	}
 }
 
+func TestRunSweepMode(t *testing.T) {
+	example, err := capture(t, "-emit-sweep-example", "-rows", "300000", "-disks", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(path, []byte(example), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+	out, err := capture(t, "-sweep", path, "-sweep-json", jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenarios", "SCENARIO", "WINNER", "recommended:", "sweep report written"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"winnerKey"`) {
+		t.Fatalf("sweep JSON report missing winnerKey:\n%s", js)
+	}
+}
+
+func TestRunSweepModeBadFile(t *testing.T) {
+	if _, err := capture(t, "-sweep", "/nonexistent/sweep.json"); err == nil {
+		t.Fatal("missing sweep file should fail")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, "-sweep", path); err == nil {
+		t.Fatal("invalid sweep file should fail")
+	}
+}
+
 func TestRunConfigFile(t *testing.T) {
 	dir := t.TempDir()
 	cfgPath := filepath.Join(dir, "cfg.json")

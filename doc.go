@@ -3,7 +3,12 @@
 //
 // The public API lives in repro/warlock; the advisor pipeline and its
 // substrates live under internal/ (schema, skew, disk, workload, fragment,
-// bitmap, costmodel, alloc, rank, sim, analysis, core, apb, config).
+// bitmap, costmodel, alloc, rank, sim, sweep, analysis, core, apb, config).
+// internal/sweep is the what-if scenario engine: warlock.Sweep evaluates a
+// declarative grid of scenarios (disk counts, query-mix reweightings, skew,
+// prefetch granules, allocation schemes) through one shared, memoizing
+// pipeline, with per-scenario results bit-identical to independent Advise
+// calls; cmd/warlock exposes it as the -sweep mode.
 // bench_test.go in this directory hosts one benchmark per experiment in
 // EXPERIMENTS.md; cmd/warlock-bench regenerates the experiment tables.
 package repro

@@ -1,0 +1,168 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// skewedSizes draws n fragment sizes from a Zipf-like decreasing law
+// (size ∝ 1/rank^theta) and shuffles them into random logical order —
+// the shape greedy allocation exists for.
+func skewedSizes(rng *rand.Rand, n int, theta, scale float64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(scale / math.Pow(float64(i+1), theta))
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// checkPlacementComplete asserts the core invariant of any placement:
+// every fragment is placed exactly once on a valid disk, and the
+// per-disk loads are exactly the sums of the fragments placed there.
+func checkPlacementComplete(t *testing.T, pl *Placement, pages []int64, disks int) {
+	t.Helper()
+	if pl.Disks != disks || len(pl.DiskOf) != len(pages) || len(pl.Load) != disks {
+		t.Fatalf("placement shape: disks %d/%d, DiskOf %d/%d, Load %d",
+			pl.Disks, disks, len(pl.DiskOf), len(pages), len(pl.Load))
+	}
+	recomputed := make([]int64, disks)
+	for i, d := range pl.DiskOf {
+		if d < 0 || d >= disks {
+			t.Fatalf("fragment %d placed on invalid disk %d", i, d)
+		}
+		recomputed[d] += pages[i]
+	}
+	var want, got int64
+	for _, p := range pages {
+		want += p
+	}
+	for d := range recomputed {
+		if recomputed[d] != pl.Load[d] {
+			t.Fatalf("disk %d load %d, recomputed %d", d, pl.Load[d], recomputed[d])
+		}
+		got += pl.Load[d]
+	}
+	if got != want {
+		t.Fatalf("total load %d, total pages %d — fragments lost or duplicated", got, want)
+	}
+}
+
+func gap(pl *Placement) int64 {
+	st := pl.Stats()
+	return st.MaxLoad - st.MinLoad
+}
+
+// TestPropertyGreedyNeverWorseThanRoundRobin: across random inputs with
+// notable skew (the regime WARLOCK selects greedy for, paper §2), the
+// greedy size-based scheme's max/min disk-load gap is never worse than
+// round-robin's, and both placements place every fragment exactly once.
+// (Under weak skew the claim does not hold universally — alternating
+// orders can make round-robin accidentally perfect — which is exactly
+// why WARLOCK's rule applies greedy only above the skew threshold.)
+func TestPropertyGreedyNeverWorseThanRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		disks := rng.Intn(63) + 2
+		n := disks + rng.Intn(40*disks)
+		theta := 0.8 + 0.8*rng.Float64()
+		scale := float64(rng.Intn(100_000) + 1000)
+		pages := skewedSizes(rng, n, theta, scale)
+
+		rr, err := Allocate(RoundRobin, pages, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := Allocate(GreedySize, pages, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlacementComplete(t, rr, pages, disks)
+		checkPlacementComplete(t, gr, pages, disks)
+
+		if g, r := gap(gr), gap(rr); g > r {
+			t.Fatalf("trial %d (disks=%d n=%d theta=%.2f): greedy gap %d > round-robin gap %d",
+				trial, disks, n, theta, g, r)
+		}
+	}
+}
+
+// TestPropertyGreedyGapBoundedByLargestFragment: for every input — any
+// skew — the greedy gap is at most the largest fragment size (the
+// least-loaded-disk invariant: when the critical disk received its last
+// fragment it was the minimum, so max − min never exceeds that
+// fragment).
+func TestPropertyGreedyGapBoundedByLargestFragment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		disks := rng.Intn(63) + 2
+		n := disks + rng.Intn(40*disks)
+		theta := 2 * rng.Float64()
+		pages := skewedSizes(rng, n, theta, float64(rng.Intn(100_000)+1000))
+		gr, err := Allocate(GreedySize, pages, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxFrag int64
+		for _, p := range pages {
+			if p > maxFrag {
+				maxFrag = p
+			}
+		}
+		if g := gap(gr); g > maxFrag {
+			t.Fatalf("trial %d (disks=%d n=%d theta=%.2f): greedy gap %d exceeds largest fragment %d",
+				trial, disks, n, theta, g, maxFrag)
+		}
+	}
+}
+
+// TestPropertyGreedyDeterministic: the greedy scheme is a pure function
+// of its input — identical calls yield identical placements (the heap
+// tie-breaks are total).
+func TestPropertyGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		disks := rng.Intn(16) + 2
+		pages := skewedSizes(rng, disks*5, 1.0, 10_000)
+		a, err := Allocate(GreedySize, pages, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Allocate(GreedySize, pages, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.DiskOf {
+			if a.DiskOf[i] != b.DiskOf[i] {
+				t.Fatalf("trial %d: non-deterministic placement at fragment %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestPropertyChooseConsistent: Choose always returns one of the two
+// schemes with a complete placement, and under heavy skew it picks
+// greedy.
+func TestPropertyChooseConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		disks := rng.Intn(16) + 2
+		theta := 1.5 * rng.Float64()
+		pages := skewedSizes(rng, disks*4, theta, 50_000)
+		pl, err := Choose(pages, disks, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlacementComplete(t, pl, pages, disks)
+		if pl.Scheme != RoundRobin && pl.Scheme != GreedySize {
+			t.Fatalf("trial %d: unexpected scheme %v", trial, pl.Scheme)
+		}
+		if theta > 1.0 && pl.Scheme != GreedySize {
+			t.Fatalf("trial %d: theta %.2f should trigger greedy, got %v", trial, theta, pl.Scheme)
+		}
+	}
+}

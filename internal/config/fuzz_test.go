@@ -1,0 +1,95 @@
+package config
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedDocs is the shared seed corpus: the emitted presets plus
+// hand-picked edge documents (minimal, empty, structurally odd, and
+// syntactically broken inputs).
+func seedDocs(f *testing.F) {
+	f.Helper()
+	var apb bytes.Buffer
+	if err := FromAPB1(1_000_000, 16).Encode(&apb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(apb.Bytes())
+	var sw bytes.Buffer
+	if err := ExampleSweep(1_000_000, 16).Encode(&sw); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sw.Bytes())
+	for _, s := range []string{
+		`{}`,
+		`{"schema":{}}`,
+		`{"schema":{"fact":{"rows":-1}},"queries":[]}`,
+		`{"schema":{"name":"S","fact":{"name":"F","rows":1,"rowSize":1},` +
+			`"dimensions":[{"name":"D","levels":[{"name":"l","cardinality":1}]}]},` +
+			`"disk":{"pageSize":8192,"disks":1,"capacityGB":1,"avgSeekMs":1,"avgRotationMs":1,"transferMBs":1},` +
+			`"queries":[{"name":"Q","weight":1,"attributes":["D.l"]}]}`,
+		`{"schema":{"dimensions":[{"name":"D","skewTheta":99,"levels":[{"cardinality":-3}]}]}}`,
+		`{"queries":[{"name":"Q","weight":1e308,"attributes":["D.x","D.x"]}]}`,
+		`{"disk":{"pageSize":1,"capacityGB":-5}}`,
+		`{"options":{"excludeBitmaps":["Nope.nope"],"maxFragments":-1}}`,
+		`[1,2,3]`,
+		`{"schema"`,
+		`null`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzParse exercises the full config path: Parse must reject garbage
+// with an error (never panic), and whatever parses must either fail
+// Build/Validate cleanly or produce a structurally valid advisor input.
+func FuzzParse(f *testing.F) {
+	seedDocs(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		in, err := doc.Build()
+		if err != nil {
+			return
+		}
+		// Build promises a validated input: re-validation must agree.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Build accepted a document whose input fails Validate: %v", err)
+		}
+		// A built document must survive re-encoding.
+		var buf bytes.Buffer
+		if err := doc.Encode(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseSweep does the same for sweep definitions: parse, build the
+// base input, the grid and the target without panicking.
+func FuzzParseSweep(f *testing.F) {
+	seedDocs(f)
+	f.Add([]byte(`{"base":{},"grid":{"disks":[0]}}`))
+	f.Add([]byte(`{"grid":{"mixScales":[{"name":"m","factors":{"Q":-1}}],"parallelism":[-5]},"responseTargetMs":-3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ParseSweep(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		in, grid, target, err := doc.Build()
+		if err != nil {
+			return
+		}
+		if in == nil || grid == nil {
+			t.Fatal("successful Build returned nil input or grid")
+		}
+		if target < 0 {
+			t.Fatalf("successful Build returned negative target %v", target)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("sweep base input fails Validate after successful Build: %v", err)
+		}
+	})
+}

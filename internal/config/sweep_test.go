@@ -1,0 +1,56 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSweepRoundTrip(t *testing.T) {
+	doc := ExampleSweep(1_000_000, 16)
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSweep(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, grid, target, err := parsed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Schema.Fact.Rows != 1_000_000 || in.Disk.Disks != 16 {
+		t.Fatalf("base input %+v", in.Disk)
+	}
+	if len(grid.Disks) != 4 || len(grid.MixScales) != 2 || len(grid.Skews) != 2 {
+		t.Fatalf("grid %+v", grid)
+	}
+	if grid.MixScales[1].Factors["Q3-store-month"] != 8 {
+		t.Fatalf("mix factors %+v", grid.MixScales[1])
+	}
+	if target != 500*time.Millisecond {
+		t.Fatalf("target %v", target)
+	}
+}
+
+func TestParseSweepRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSweep(strings.NewReader(`{"grid": {"spindles": [3]}}`)); err == nil {
+		t.Fatal("unknown grid field accepted")
+	}
+}
+
+func TestSweepBuildErrors(t *testing.T) {
+	// Invalid base propagates.
+	d := &SweepDoc{}
+	if _, _, _, err := d.Build(); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	// Negative target rejected.
+	d = ExampleSweep(1_000_000, 16)
+	d.ResponseTargetMs = -1
+	if _, _, _, err := d.Build(); err == nil {
+		t.Fatal("negative response target accepted")
+	}
+}

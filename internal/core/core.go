@@ -65,6 +65,12 @@ type Input struct {
 	// streaming pipeline. <= 0 uses GOMAXPROCS. Results are bit-for-bit
 	// identical for every value; only wall-clock time changes.
 	Parallelism int
+	// EvalCache optionally shares candidate-independent cost-model state
+	// (attribute share vectors, candidate geometries) with other
+	// advisories on the same schema — the what-if sweep engine sets one
+	// cache for all scenarios of a run. Nil disables sharing. Results
+	// are bit-for-bit identical with and without a cache.
+	EvalCache *costmodel.Cache
 }
 
 // Result is everything the prediction layer hands to the analysis layer.
@@ -156,5 +162,6 @@ func (r *Result) CostModelConfig() *costmodel.Config {
 		AllocScheme:     in.AllocScheme,
 		SkewCVThreshold: in.SkewCVThreshold,
 		MaxFragments:    th.MaxFragments,
+		Cache:           in.EvalCache,
 	}
 }

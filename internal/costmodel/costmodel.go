@@ -73,6 +73,12 @@ type Config struct {
 	// MaxFragments bounds candidate materialization; <= 0 uses
 	// fragment.MaxFragmentsDefault.
 	MaxFragments int64
+	// Cache optionally shares candidate-independent evaluation state
+	// (attribute share vectors, candidate geometries) across Evaluators,
+	// keyed by schema identity. Nil disables sharing. Results are
+	// bit-for-bit identical with and without a cache; only repeated work
+	// is skipped. The sweep engine sets it for all scenarios of one run.
+	Cache *Cache
 }
 
 // Validate checks the configuration.

@@ -31,6 +31,8 @@ type Evaluator struct {
 	// cheap as before the Evaluator existed; the pipeline amortizes each
 	// attribute's computation across every candidate using it. The
 	// resulting slices are read-only; geometries reference, never copy.
+	// When cfg.Cache is set the closures live in the cache, shared with
+	// every other Evaluator on the same schema and mapping.
 	shares [][]func() ([]float64, error)
 	// capacityPages is the disk pool's total page capacity.
 	capacityPages int64
@@ -53,9 +55,20 @@ func NewEvaluator(cfg *Config) (*Evaluator, error) {
 		e.shares[d] = make([]func() ([]float64, error), len(dim.Levels))
 		for l := range dim.Levels {
 			a := schema.AttrRef{Dim: d, Level: l}
-			e.shares[d][l] = sync.OnceValues(func() ([]float64, error) {
-				return fragment.AttrShares(cfg.Schema, a, cfg.Mapping)
-			})
+			// Capture only what the computation reads: these closures
+			// are installed eagerly but may never run, and a cached,
+			// never-invoked closure would otherwise pin this Evaluator's
+			// whole Config (mix, disk params) for the cache lifetime.
+			s, mapping := cfg.Schema, cfg.Mapping
+			compute := func() ([]float64, error) {
+				return fragment.AttrShares(s, a, mapping)
+			}
+			if cfg.Cache != nil {
+				e.shares[d][l] = cfg.Cache.shareFn(
+					sharesCacheKey{schema: cfg.Schema, mapping: cfg.Mapping, attr: a}, compute)
+			} else {
+				e.shares[d][l] = sync.OnceValues(compute)
+			}
 		}
 	}
 	return e, nil
@@ -65,8 +78,26 @@ func NewEvaluator(cfg *Config) (*Evaluator, error) {
 func (e *Evaluator) Config() *Config { return e.cfg }
 
 // Geometry computes the candidate's fragment geometry from the
-// precomputed share vectors.
+// precomputed share vectors. With a shared Cache configured, the geometry
+// of each (schema, mapping, page size, candidate) combination is computed
+// once and reused by every Evaluator sharing the cache — geometries do
+// not depend on the query mix, the disk count or the prefetch granules,
+// so what-if scenarios varying only those reuse them directly.
 func (e *Evaluator) Geometry(f *fragment.Fragmentation) (*fragment.Geometry, error) {
+	if c := e.cfg.Cache; c != nil {
+		key := geomCacheKey{
+			schema:   e.cfg.Schema,
+			mapping:  e.cfg.Mapping,
+			pageSize: e.cfg.Disk.PageSize,
+			maxFrag:  e.cfg.MaxFragments,
+			frag:     f.Key(),
+		}
+		return c.geomFn(key, func() (*fragment.Geometry, error) { return e.geometry(f) })()
+	}
+	return e.geometry(f)
+}
+
+func (e *Evaluator) geometry(f *fragment.Fragmentation) (*fragment.Geometry, error) {
 	attrs := f.Attrs()
 	shares := make([][]float64, len(attrs))
 	for i, a := range attrs {

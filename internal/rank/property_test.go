@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// referenceTwofold is an independent, full-materialization oracle for
+// the twofold heuristic, written directly from the paper's description
+// with plain sorts and no sharing with the Collector implementation:
+// filter by capacity, order everything by I/O access cost, take the
+// leading X% (floored at MinLeading), re-order it by response time,
+// truncate to TopN.
+func referenceTwofold(evals []*costmodel.Evaluation, opts Options) []Ranked {
+	pct := opts.LeadingPercent
+	if pct <= 0 {
+		pct = DefaultLeadingPercent
+	}
+	minLead := opts.MinLeading
+	if minLead <= 0 {
+		minLead = DefaultMinLeading
+	}
+	var pool []*costmodel.Evaluation
+	for _, e := range evals {
+		if opts.RequireCapacity && !e.CapacityOK {
+			continue
+		}
+		pool = append(pool, e)
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		a, b := pool[i], pool[j]
+		if a.AccessCost != b.AccessCost {
+			return a.AccessCost < b.AccessCost
+		}
+		if a.ResponseTime != b.ResponseTime {
+			return a.ResponseTime < b.ResponseTime
+		}
+		return a.Frag.Key() < b.Frag.Key()
+	})
+	costRank := map[string]int{}
+	for i, e := range pool {
+		costRank[e.Frag.Key()] = i + 1
+	}
+	lead := int(float64(len(pool))*pct/100 + 0.999999)
+	if lead < minLead {
+		lead = minLead
+	}
+	if lead > len(pool) {
+		lead = len(pool)
+	}
+	leading := append([]*costmodel.Evaluation(nil), pool[:lead]...)
+	sort.SliceStable(leading, func(i, j int) bool {
+		a, b := leading[i], leading[j]
+		if a.ResponseTime != b.ResponseTime {
+			return a.ResponseTime < b.ResponseTime
+		}
+		if a.AccessCost != b.AccessCost {
+			return a.AccessCost < b.AccessCost
+		}
+		return a.Frag.Key() < b.Frag.Key()
+	})
+	if opts.TopN > 0 && opts.TopN < len(leading) {
+		leading = leading[:opts.TopN]
+	}
+	out := make([]Ranked, len(leading))
+	for i, e := range leading {
+		out[i] = Ranked{Eval: e, CostRank: costRank[e.Frag.Key()], ResponseRank: i + 1}
+	}
+	return out
+}
+
+// TestPropertyCollectorMatchesFullSortReference: on random candidate
+// streams — random costs, ties, capacity flips, random arrival order,
+// random options — the streaming bounded Collector reproduces the
+// full-sort oracle exactly, both with a tight bound (maxCandidates = n),
+// a loose bound (> n) and unbounded.
+func TestPropertyCollectorMatchesFullSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(200) + 1
+		evals := randomEvals(t, rng, n, trial%2 == 0, trial%4 == 0)
+		opts := Options{
+			LeadingPercent:  []float64{0, 1, 5, 10, 33, 50, 100}[rng.Intn(7)],
+			MinLeading:      rng.Intn(6),
+			TopN:            rng.Intn(12),
+			RequireCapacity: trial%4 == 0,
+		}
+		want := referenceTwofold(evals, opts)
+
+		for _, bound := range []int{n, n + 1 + rng.Intn(100), 0} {
+			c := NewCollector(opts, bound)
+			for _, i := range rng.Perm(n) {
+				c.Add(evals[i])
+			}
+			got, err := c.Ranked()
+			if len(want) == 0 {
+				if err == nil {
+					t.Fatalf("trial %d bound %d: oracle empty but collector returned %d", trial, bound, len(got))
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d bound %d: %v", trial, bound, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (n=%d bound=%d opts=%+v): collector differs from full-sort reference\ngot:  %v\nwant: %v",
+					trial, n, bound, opts, summarize(got), summarize(want))
+			}
+		}
+	}
+}
+
+func summarize(rs []Ranked) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Eval.Frag.Key()
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/costmodel"
@@ -31,7 +33,11 @@ func TestMultiUserEstimateTracksSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frac %g: %v", frac, err)
 		}
-		m, err := MultiUser(cfg, ev, 600, rate, 3)
+		// Explicit sources: one stream for the query draws, one for the
+		// arrival process — deterministic by construction, no implicit
+		// seed arithmetic.
+		m, err := MultiUserRand(cfg, ev, 600, rate,
+			rand.New(rand.NewSource(3)), rand.New(rand.NewSource(4)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,5 +69,55 @@ func TestMultiUserEstimateTracksSimulation(t *testing.T) {
 	// High load must visibly slow the simulated system down.
 	if pts[len(pts)-1].slowSim < 1.3 {
 		t.Fatalf("80%% utilization should slow responses: slowdown %.2f", pts[len(pts)-1].slowSim)
+	}
+}
+
+// TestMultiUserSeedMatchesExplicitSources pins the wrapper contract: the
+// seed-taking entry points are exactly the Rand ones with sources seed
+// (queries) and seed+1 (arrivals), and repeated runs are bit-identical.
+func TestMultiUserSeedMatchesExplicitSources(t *testing.T) {
+	cfg := simCfg(t, "A.a1", "B.b1")
+	ev := evalFrag(t, cfg, "A.a2")
+	rate := 0.5 * costmodel.SaturationRate(ev)
+	seeded, err := MultiUser(cfg, ev, 100, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := MultiUserRand(cfg, ev, 100, rate,
+		rand.New(rand.NewSource(7)), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seeded, explicit) {
+		t.Fatalf("seeded run differs from explicit sources:\n%+v\n%+v", seeded, explicit)
+	}
+	again, err := MultiUser(cfg, ev, 100, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seeded, again) {
+		t.Fatal("repeated seeded runs are not bit-identical")
+	}
+
+	sSeeded, rSeeded, err := SingleUser(cfg, ev, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sExplicit, rExplicit, err := SingleUserRand(cfg, ev, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sSeeded, sExplicit) || !reflect.DeepEqual(rSeeded, rExplicit) {
+		t.Fatal("SingleUser seed wrapper differs from explicit source")
+	}
+
+	if _, err := NewQueryGenRand(cfg, ev, nil); err == nil {
+		t.Fatal("nil query source accepted")
+	}
+	if _, err := PoissonArrivalsRand(3, 1, nil); err == nil {
+		t.Fatal("nil arrival source accepted")
+	}
+	if _, err := MultiUserRand(cfg, ev, 10, 0, rand.New(rand.NewSource(1)), rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("zero rate accepted")
 	}
 }

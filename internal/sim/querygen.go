@@ -29,13 +29,25 @@ type QueryGen struct {
 
 // NewQueryGen builds a generator with a deterministic seed.
 func NewQueryGen(cfg *costmodel.Config, ev *costmodel.Evaluation, seed int64) (*QueryGen, error) {
+	return NewQueryGenRand(cfg, ev, rand.New(rand.NewSource(seed)))
+}
+
+// NewQueryGenRand builds a generator drawing from an explicit source.
+// The seed-taking entry points are thin wrappers over the Rand ones;
+// passing the source makes the randomness dependency explicit, so tests
+// and composed experiments control exactly one stream per concern
+// instead of deriving streams by seed offsets.
+func NewQueryGenRand(cfg *costmodel.Config, ev *costmodel.Evaluation, rng *rand.Rand) (*QueryGen, error) {
 	if cfg == nil || ev == nil || ev.Geometry == nil || ev.Placement == nil {
 		return nil, fmt.Errorf("%w: nil config or evaluation", ErrBadGen)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil random source", ErrBadGen)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	qg := &QueryGen{cfg: cfg, ev: ev, rng: rand.New(rand.NewSource(seed))}
+	qg := &QueryGen{cfg: cfg, ev: ev, rng: rng}
 	weights := cfg.Mix.NormalizedWeights()
 	qg.cumW = make([]float64, len(weights))
 	var run float64
@@ -143,10 +155,16 @@ func (qg *QueryGen) drawHitSets(plan *costmodel.ClassPlan) [][]int {
 // weighted aggregates are unbiased estimators of the analytical
 // expectations; predicate values remain random.
 func SingleUser(cfg *costmodel.Config, ev *costmodel.Evaluation, n int, seed int64) (Metrics, []time.Duration, error) {
+	return SingleUserRand(cfg, ev, n, rand.New(rand.NewSource(seed)))
+}
+
+// SingleUserRand is SingleUser drawing predicate values from an explicit
+// source.
+func SingleUserRand(cfg *costmodel.Config, ev *costmodel.Evaluation, n int, rng *rand.Rand) (Metrics, []time.Duration, error) {
 	if n <= 0 {
 		return Metrics{}, nil, fmt.Errorf("%w: n=%d", ErrBadGen, n)
 	}
-	qg, err := NewQueryGen(cfg, ev, seed)
+	qg, err := NewQueryGenRand(cfg, ev, rng)
 	if err != nil {
 		return Metrics{}, nil, err
 	}
@@ -213,22 +231,34 @@ func apportion(weights []float64, n int) []int {
 }
 
 // MultiUser simulates an open system: n queries arriving Poisson at
-// ratePerSec, competing for the disks.
+// ratePerSec, competing for the disks. The seed derives two independent
+// streams (seed for the queries, seed+1 for the arrivals), exactly as
+// MultiUserRand with those sources.
 func MultiUser(cfg *costmodel.Config, ev *costmodel.Evaluation, n int, ratePerSec float64, seed int64) (Metrics, error) {
+	return MultiUserRand(cfg, ev, n, ratePerSec,
+		rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed+1)))
+}
+
+// MultiUserRand is MultiUser with explicit sources: queries draws the
+// query classes and predicate values, arrivals draws the Poisson
+// arrival process. Separate streams keep the two concerns independent —
+// changing the arrival rate (or the arrival stream) never perturbs
+// which queries run, and vice versa.
+func MultiUserRand(cfg *costmodel.Config, ev *costmodel.Evaluation, n int, ratePerSec float64, queries, arrivals *rand.Rand) (Metrics, error) {
 	if n <= 0 {
 		return Metrics{}, fmt.Errorf("%w: n=%d", ErrBadGen, n)
 	}
-	arrivals, err := PoissonArrivals(n, ratePerSec, seed+1)
+	arrivalTimes, err := PoissonArrivalsRand(n, ratePerSec, arrivals)
 	if err != nil {
 		return Metrics{}, err
 	}
-	qg, err := NewQueryGen(cfg, ev, seed)
+	qg, err := NewQueryGenRand(cfg, ev, queries)
 	if err != nil {
 		return Metrics{}, err
 	}
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
-		jobs[i] = qg.Job(i, arrivals[i])
+		jobs[i] = qg.Job(i, arrivalTimes[i])
 	}
 	m, _, err := Run(cfg.Disk.Disks, jobs)
 	return m, err

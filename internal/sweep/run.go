@@ -1,0 +1,322 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers is the number of scenario advisories run concurrently;
+	// <= 0 uses GOMAXPROCS. Each advisory additionally parallelizes its
+	// own cost-model stage per its input's Parallelism.
+	Workers int
+	// ResponseTarget, when > 0, is recorded in the report: the table
+	// marks scenarios whose winner meets it, and Best() prefers the
+	// smallest disk count among them.
+	ResponseTarget time.Duration
+}
+
+// ScenarioResult is one evaluated grid point.
+type ScenarioResult struct {
+	Scenario
+	// Result is the full advisory (possibly partial when Err != nil).
+	Result *core.Result
+	// Err is the scenario's advisory error (e.g. every candidate
+	// excluded); scenario errors do not abort the sweep.
+	Err error
+}
+
+// Best returns the scenario's winning evaluation, or nil.
+func (sr *ScenarioResult) Best() *costmodel.Evaluation {
+	if sr.Result == nil {
+		return nil
+	}
+	return sr.Result.Best()
+}
+
+// Report is the result of a sweep run.
+type Report struct {
+	// Scenarios holds every grid point in canonical order.
+	Scenarios []ScenarioResult
+	// Target is Options.ResponseTarget.
+	Target time.Duration
+	// Advisories is the number of distinct advisories actually run —
+	// grid size minus the scenarios answered by result sharing.
+	Advisories int
+}
+
+// Run expands the grid and evaluates every scenario through the shared,
+// memoizing pipeline: one costmodel.Cache for all scenarios, one
+// advisory per result-equivalence group (scenarios differing only in
+// Parallelism share it), groups advised concurrently under the worker
+// pool. Scenario-level advisory failures are recorded per scenario; Run
+// itself fails only on invalid grids/inputs or context cancellation.
+func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report, error) {
+	scens, err := Expand(base, g)
+	if err != nil {
+		return nil, err
+	}
+	cache := costmodel.NewCache()
+
+	// Group scenarios by result-equivalence class; advise each group once.
+	groupOf := map[int][]int{} // group → scenario indices, ascending
+	var reps []int             // representative scenario index per group, ascending
+	for i := range scens {
+		gk := scens[i].group
+		if len(groupOf[gk]) == 0 {
+			reps = append(reps, i)
+		}
+		groupOf[gk] = append(groupOf[gk], i)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reps) {
+		workers = len(reps)
+	}
+
+	type advised struct {
+		res *core.Result
+		err error
+	}
+	results := make([]advised, len(scens)) // indexed by representative
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run := *scens[i].Input
+				run.EvalCache = cache
+				res, err := core.AdviseContext(ctx, &run)
+				results[i] = advised{res: res, err: err}
+			}
+		}()
+	}
+	for _, i := range reps {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Scenarios:  make([]ScenarioResult, len(scens)),
+		Target:     opts.ResponseTarget,
+		Advisories: len(reps),
+	}
+	for _, ri := range reps {
+		adv := results[ri]
+		for _, i := range groupOf[scens[ri].group] {
+			sr := ScenarioResult{Scenario: scens[i], Err: adv.err}
+			if adv.res != nil {
+				// Share the group's evaluations and ranking (identical
+				// for every Parallelism by construction) but carry the
+				// scenario's own input, so follow-up analyses see the
+				// scenario's configuration.
+				in := *scens[i].Input
+				in.EvalCache = cache
+				sr.Result = &core.Result{
+					Input:        &in,
+					Ranked:       adv.res.Ranked,
+					Evaluations:  adv.res.Evaluations,
+					Excluded:     adv.res.Excluded,
+					EvalFailures: adv.res.EvalFailures,
+				}
+			}
+			rep.Scenarios[i] = sr
+		}
+	}
+	return rep, nil
+}
+
+// Best returns the sweep's recommended scenario: among scenarios whose
+// winner fits the disk capacity and meets the report's response-time
+// target, the one with the smallest disk count (ties: lower response
+// time, then grid order) — "the smallest configuration that is fast
+// enough". Without a target (or when no capacity-feasible scenario
+// meets it) it falls back to the scenario with the lowest winning
+// response time, preferring capacity-feasible ones; use MeetsTarget to
+// distinguish a true recommendation from the fallback. Nil when no
+// scenario succeeded.
+func (r *Report) Best() *ScenarioResult {
+	if best := r.bestMeeting(r.Target); best != nil {
+		return best
+	}
+	var best, bestAny *ScenarioResult
+	for i := range r.Scenarios {
+		sr := &r.Scenarios[i]
+		ev := sr.Best()
+		if sr.Err != nil || ev == nil {
+			continue
+		}
+		if bestAny == nil || ev.ResponseTime < bestAny.Best().ResponseTime {
+			bestAny = sr
+		}
+		if ev.CapacityOK && (best == nil || ev.ResponseTime < best.Best().ResponseTime) {
+			best = sr
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return bestAny
+}
+
+// MeetsTarget reports whether the scenario's winner fits the disk
+// capacity and meets the given response-time target.
+func (sr *ScenarioResult) MeetsTarget(target time.Duration) bool {
+	ev := sr.Best()
+	return sr.Err == nil && ev != nil && ev.CapacityOK && target > 0 && ev.ResponseTime <= target
+}
+
+// bestMeeting picks the smallest-disk-count capacity-feasible scenario
+// meeting the target. Capacity matters here precisely because the
+// preference runs toward fewer disks — the direction in which layouts
+// stop fitting.
+func (r *Report) bestMeeting(target time.Duration) *ScenarioResult {
+	var best *ScenarioResult
+	for i := range r.Scenarios {
+		sr := &r.Scenarios[i]
+		if !sr.MeetsTarget(target) {
+			continue
+		}
+		if best == nil {
+			best = sr
+			continue
+		}
+		bd, sd := best.Input.Disk.Disks, sr.Input.Disk.Disks
+		switch {
+		case sd < bd:
+			best = sr
+		case sd == bd && sr.Best().ResponseTime < best.Best().ResponseTime:
+			best = sr
+		}
+	}
+	return best
+}
+
+// Table renders the per-scenario summary as an aligned text table.
+func (r *Report) Table(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "SCENARIO\tWINNER\tFRAGMENTS\tI/O COST (ms)\tRESPONSE (ms)\tALLOC\tCAP"
+	if r.Target > 0 {
+		header += "\tTARGET"
+	}
+	fmt.Fprintln(tw, header)
+	for i := range r.Scenarios {
+		sr := &r.Scenarios[i]
+		if ev := sr.Best(); sr.Err == nil && ev != nil {
+			capLabel := "ok"
+			if !ev.CapacityOK {
+				capLabel = "over"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%s\t%s",
+				sr.Name, ev.Frag.Name(sr.Input.Schema), ev.Geometry.NumFragments(),
+				durMs(ev.AccessCost), durMs(ev.ResponseTime), ev.Placement.Scheme, capLabel)
+			if r.Target > 0 {
+				mark := "-"
+				if sr.MeetsTarget(r.Target) {
+					mark = "meets"
+				}
+				fmt.Fprintf(tw, "\t%s", mark)
+			}
+			fmt.Fprintln(tw)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\terror: %v\t\t\t\t\t", sr.Name, sr.Err)
+		if r.Target > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// scenarioJSON is the machine-readable per-scenario record.
+type scenarioJSON struct {
+	Name        string  `json:"name"`
+	Rows        int64   `json:"rows,omitempty"`
+	Disks       int     `json:"disks"`
+	Prefetch    *int    `json:"prefetch,omitempty"`
+	Mix         string  `json:"mix,omitempty"`
+	Skew        string  `json:"skew,omitempty"`
+	Alloc       string  `json:"alloc,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Winner      string  `json:"winner,omitempty"`
+	WinnerKey   string  `json:"winnerKey,omitempty"`
+	Fragments   int64   `json:"fragments,omitempty"`
+	AccessMs    float64 `json:"accessCostMs,omitempty"`
+	ResponseMs  float64 `json:"responseMs,omitempty"`
+	Scheme      string  `json:"allocScheme,omitempty"`
+	CapacityOK  bool    `json:"capacityOK"`
+	MeetsTarget bool    `json:"meetsTarget,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// reportJSON is the machine-readable sweep report.
+type reportJSON struct {
+	TargetMs   float64        `json:"responseTargetMs,omitempty"`
+	Advisories int            `json:"advisories"`
+	Scenarios  []scenarioJSON `json:"scenarios"`
+	Best       string         `json:"best,omitempty"`
+}
+
+// WriteJSON emits the machine-readable report (scenarios in grid order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	doc := reportJSON{TargetMs: durMs(r.Target), Advisories: r.Advisories}
+	for i := range r.Scenarios {
+		sr := &r.Scenarios[i]
+		row := scenarioJSON{
+			Name: sr.Name, Rows: sr.Rows, Disks: sr.Input.Disk.Disks,
+			Mix: sr.Mix, Skew: sr.Skew,
+			Alloc: sr.Alloc, Parallelism: sr.Parallelism,
+		}
+		if sr.Prefetch >= 0 {
+			pf := sr.Prefetch
+			row.Prefetch = &pf
+		}
+		if ev := sr.Best(); sr.Err == nil && ev != nil {
+			row.Winner = ev.Frag.Name(sr.Input.Schema)
+			row.WinnerKey = ev.Frag.Key()
+			row.Fragments = ev.Geometry.NumFragments()
+			row.AccessMs = durMs(ev.AccessCost)
+			row.ResponseMs = durMs(ev.ResponseTime)
+			row.Scheme = ev.Placement.Scheme.String()
+			row.CapacityOK = ev.CapacityOK
+			row.MeetsTarget = sr.MeetsTarget(r.Target)
+		} else if sr.Err != nil {
+			row.Error = sr.Err.Error()
+		}
+		doc.Scenarios = append(doc.Scenarios, row)
+	}
+	if best := r.Best(); best != nil {
+		doc.Best = best.Name
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

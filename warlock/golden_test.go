@@ -1,0 +1,144 @@
+package warlock_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/warlock"
+)
+
+// update regenerates the golden files instead of comparing:
+//
+//	go test ./warlock -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with the current pipeline output")
+
+// The golden corpus snapshots the complete rendered advisory —
+// Report(Advise(in)) — for two reference workloads. The pipeline is
+// deterministic by construction (no clock or global-rand seeding, and
+// Parallelism never changes results), so any byte-level drift in these
+// files is a real behavioural change in enumeration, pruning, the cost
+// model, ranking, allocation or report rendering — exactly what a
+// refactor must not silently do.
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s: advisory output drifted from golden snapshot.\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test ./warlock -run TestGolden -update\n"+
+			"--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenAPB1 pins the uniform APB-1 advisory (1M rows, 16 disks,
+// fixed 8-page granules).
+func TestGoldenAPB1(t *testing.T) {
+	schema := warlock.APB1Schema(1_000_000)
+	mix, err := warlock.APB1Mix(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := warlock.DefaultDisk(16)
+	disk.PrefetchPages = 8
+	disk.BitmapPrefetchPages = 8
+	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "apb1.golden", warlock.Report(res))
+}
+
+// TestGoldenSkewedRetail pins the skewed grocery advisory from
+// examples/skewed-retail: strong Zipf skew on articles and stores, which
+// must flip the allocation rule to greedy size-based.
+func TestGoldenSkewedRetail(t *testing.T) {
+	res, err := warlock.Advise(skewedRetailInput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Placement.Scheme != warlock.GreedySize {
+		t.Fatalf("skewed retail winner should use greedy allocation, got %v", res.Best().Placement.Scheme)
+	}
+	goldenCompare(t, "skewed-retail.golden", warlock.Report(res))
+}
+
+// TestGoldenDeterministicAcrossParallelism guards the premise the sweep
+// engine and the goldens rest on: the rendered advisory is byte-identical
+// for every worker count.
+func TestGoldenDeterministicAcrossParallelism(t *testing.T) {
+	in := skewedRetailInput(t)
+	in.Parallelism = 1
+	serial, err := warlock.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := *in
+	in2.Parallelism = 7
+	parallel, err := warlock.Advise(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warlock.Report(serial) != warlock.Report(parallel) {
+		t.Fatal("rendered advisory differs across Parallelism values")
+	}
+}
+
+// skewedRetailInput reproduces the examples/skewed-retail configuration.
+func skewedRetailInput(t *testing.T) *warlock.Input {
+	t.Helper()
+	schema := &warlock.Star{
+		Name: "Grocery",
+		Fact: warlock.FactTable{Name: "Receipts", Rows: 6_000_000, RowSize: 80},
+		Dimensions: []warlock.Dimension{
+			{Name: "Article", SkewTheta: 0.9, Levels: []warlock.Level{
+				{Name: "department", Cardinality: 12},
+				{Name: "category", Cardinality: 180},
+				{Name: "article", Cardinality: 5000},
+			}},
+			{Name: "Store", SkewTheta: 1.0, Levels: []warlock.Level{
+				{Name: "region", Cardinality: 16},
+				{Name: "store", Cardinality: 640},
+			}},
+			{Name: "Day", Levels: []warlock.Level{
+				{Name: "year", Cardinality: 3},
+				{Name: "month", Cardinality: 36},
+				{Name: "day", Cardinality: 1096},
+			}},
+		},
+	}
+	mix := &warlock.Mix{Classes: []warlock.QueryClass{
+		retailClass(t, schema, "category-by-month", 30, "Article.category", "Day.month"),
+		retailClass(t, schema, "store-monthly", 25, "Store.store", "Day.month"),
+		retailClass(t, schema, "regional-departments", 20, "Store.region", "Article.department"),
+		retailClass(t, schema, "article-drill", 15, "Article.article"),
+		retailClass(t, schema, "daily-flash", 10, "Day.day"),
+	}}
+	return &warlock.Input{Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(24)}
+}
+
+func retailClass(t *testing.T, s *warlock.Star, name string, weight float64, paths ...string) warlock.QueryClass {
+	t.Helper()
+	c := warlock.QueryClass{Name: name, Weight: weight}
+	for _, p := range paths {
+		a, err := s.Attr(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Predicates = append(c.Predicates, a)
+	}
+	return c
+}

@@ -28,6 +28,28 @@
 // adds cancellation: on ctx cancellation the pipeline drains cleanly and
 // the context's error is returned.
 //
+// # What-if sweeps
+//
+// Sweep evaluates a declarative grid of what-if scenarios (disk counts,
+// query-mix reweightings, skew settings, prefetch granules, allocation
+// schemes) against one base Input through a shared, memoizing pipeline:
+//
+//	rep, _ := warlock.Sweep(in, &warlock.SweepGrid{
+//	    Disks: []int{16, 32, 64},
+//	    MixScales: []warlock.SweepMixScale{
+//	        {Name: "base"},
+//	        {Name: "boost-Q3", Factors: map[string]float64{"Q3-store-month": 8}},
+//	    },
+//	}, warlock.SweepOptions{ResponseTarget: 500 * time.Millisecond})
+//	rep.Table(os.Stdout)
+//	best := rep.Best() // smallest disk count meeting the target
+//
+// Scenarios run concurrently; attribute share vectors and candidate
+// geometries are computed once per schema rather than once per scenario,
+// and scenarios differing only in Parallelism share one advisory. Every
+// per-scenario result is bit-for-bit identical to an independent Advise
+// call on the scenario's input.
+//
 // The package re-exports the stable subset of the internal building
 // blocks; advanced users may also assemble the pipeline from the pieces
 // (fragmentation enumeration, cost model, allocation, simulation).
@@ -50,6 +72,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sim"
 	"repro/internal/skew"
+	"repro/internal/sweep"
 	"repro/internal/validate"
 	"repro/internal/workload"
 )
@@ -112,6 +135,61 @@ type (
 	// MultiResult is the combined multi-fact-table advisory.
 	MultiResult = core.MultiResult
 )
+
+// What-if scenario sweeps.
+type (
+	// SweepGrid declares the axes of a what-if sweep (disk counts,
+	// query-mix reweightings, skew, prefetch granules, allocation
+	// schemes, parallelism) over a base Input.
+	SweepGrid = sweep.Grid
+	// SweepMixScale is one query-mix reweighting axis value.
+	SweepMixScale = sweep.MixScale
+	// SweepSkew is one per-dimension skew axis value.
+	SweepSkew = sweep.SkewSetting
+	// SweepOptions tunes a sweep run (scenario workers, response-time
+	// target).
+	SweepOptions = sweep.Options
+	// SweepScenario is one materialized grid point.
+	SweepScenario = sweep.Scenario
+	// SweepResult is one evaluated grid point.
+	SweepResult = sweep.ScenarioResult
+	// SweepReport is the complete sweep result with ranking helpers,
+	// a tabular renderer and a machine-readable JSON form.
+	SweepReport = sweep.Report
+	// EvalCache shares candidate-independent cost-model state across
+	// advisories on the same schema (Input.EvalCache); Sweep manages
+	// one automatically.
+	EvalCache = costmodel.Cache
+)
+
+// Sweep evaluates a declarative what-if grid over the base input through
+// one shared, memoizing pipeline: scenarios run concurrently, scenarios
+// differing only in Parallelism share one advisory, and all scenarios
+// share attribute share vectors and candidate geometries where the
+// schema is unchanged. Per-scenario results are bit-for-bit identical
+// to independent Advise calls on the scenario inputs — the sweep only
+// removes repeated work (an N-scenario grid costs far less than N cold
+// advisories).
+func Sweep(base *Input, grid *SweepGrid, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(context.Background(), base, grid, opts)
+}
+
+// SweepContext is Sweep with cancellation: on ctx cancellation all
+// scenario pipelines drain cleanly and the context's error is returned.
+func SweepContext(ctx context.Context, base *Input, grid *SweepGrid, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(ctx, base, grid, opts)
+}
+
+// SweepScenarios expands a grid into its materialized scenarios without
+// evaluating them — useful to inspect or cost a sweep before running it.
+func SweepScenarios(base *Input, grid *SweepGrid) ([]SweepScenario, error) {
+	return sweep.Expand(base, grid)
+}
+
+// NewEvalCache returns an empty shared evaluation-state cache for
+// advanced callers wiring Input.EvalCache by hand; Sweep manages one
+// per run automatically.
+func NewEvalCache() *EvalCache { return costmodel.NewCache() }
 
 // Simulation and validation.
 type (
