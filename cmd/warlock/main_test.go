@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/config"
 )
 
 // capture runs run(args) with stdout redirected and returns the output.
@@ -99,6 +101,81 @@ func TestRunSweepModeBadFile(t *testing.T) {
 	}
 	if _, err := capture(t, "-sweep", path); err == nil {
 		t.Fatal("invalid sweep file should fail")
+	}
+}
+
+// sweepDocForTest parses the -emit-sweep-example output so error-path
+// tests can mutate a known-good document.
+func sweepDocForTest(t *testing.T) *config.SweepDoc {
+	t.Helper()
+	example, err := capture(t, "-emit-sweep-example", "-rows", "300000", "-disks", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := config.ParseSweep(strings.NewReader(example))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func writeSweepDoc(t *testing.T, doc *config.SweepDoc) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSweepModeSemanticErrors: documents that decode but fail to
+// build (negative target) or to expand (unknown axis values) must fail
+// the run, not silently degrade.
+func TestRunSweepModeSemanticErrors(t *testing.T) {
+	badTarget := sweepDocForTest(t)
+	badTarget.ResponseTargetMs = -1
+	if _, err := capture(t, "-sweep", writeSweepDoc(t, badTarget)); err == nil {
+		t.Fatal("negative responseTargetMs should fail")
+	}
+
+	badAlloc := sweepDocForTest(t)
+	badAlloc.Grid.Allocs = []string{"bogus-scheme"}
+	if _, err := capture(t, "-sweep", writeSweepDoc(t, badAlloc)); err == nil {
+		t.Fatal("unknown alloc axis value should fail")
+	}
+
+	badMixClass := sweepDocForTest(t)
+	badMixClass.Grid.MixScales = []config.MixScaleDoc{
+		{Name: "boost-missing", Factors: map[string]float64{"no-such-class": 4}},
+	}
+	if _, err := capture(t, "-sweep", writeSweepDoc(t, badMixClass)); err == nil {
+		t.Fatal("mix scale naming an unknown class should fail")
+	}
+}
+
+// TestRunSweepJSONUnwritable: a sweep that evaluates fine must still
+// fail the run when the -sweep-json report cannot be written.
+func TestRunSweepJSONUnwritable(t *testing.T) {
+	doc := sweepDocForTest(t)
+	doc.Grid.Disks = []int{8} // shrink the grid: this test is about the write
+	doc.Grid.MixScales = nil
+	doc.Grid.Skews = nil
+	path := writeSweepDoc(t, doc)
+	if _, err := capture(t, "-sweep", path, "-sweep-json", "/nonexistent-dir/report.json"); err == nil {
+		t.Fatal("unwritable -sweep-json path should fail")
+	}
+	// A path routed through a regular file fails with ENOTDIR for every
+	// user (a 0555 directory would not stop root, and CI may run as root).
+	plainFile := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(plainFile, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, "-sweep", path, "-sweep-json", filepath.Join(plainFile, "report.json")); err == nil {
+		t.Fatal("-sweep-json path through a regular file should fail")
 	}
 }
 

@@ -1,0 +1,93 @@
+// Command warlockd is the long-running WARLOCK advisory service: the
+// advisor pipeline behind an HTTP API, with request coalescing, a cached
+// advisory store and shared per-schema evaluation state.
+//
+// Usage:
+//
+//	warlockd -addr :8080 -cache-size 256 -max-concurrent 8
+//
+// Endpoints:
+//
+//	POST /v1/advise   config JSON (warlock -emit-example) → ranked advisory
+//	POST /v1/sweep    sweep JSON (warlock -emit-sweep-example) → sweep report
+//	GET  /healthz     liveness probe
+//	GET  /metrics     plain-text counters (hits, misses, coalesced, in-flight)
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
+// requests drain for -drain-timeout, then remaining pipeline evaluations
+// are cancelled via context cancellation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "warlockd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (signal) or the listener fails. When
+// ready is non-nil the bound address is sent once the listener is up
+// (tests bind :0 and need the port).
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("warlockd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		cacheSize     = fs.Int("cache-size", server.DefaultCacheSize, "advisory response cache capacity (entries per endpoint)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "max concurrent pipeline evaluations (0 = GOMAXPROCS)")
+		drainTimeout  = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window before in-flight pipelines are cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{CacheSize: *cacheSize, MaxConcurrent: *maxConcurrent})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "warlockd listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "warlockd: shutting down, draining in-flight requests (up to %v)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = hs.Shutdown(dctx)
+	srv.Close() // cancel any pipeline evaluations that outlived the drain
+	if err != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "warlockd: clean shutdown")
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// syncWriter guards the stdout buffer shared between run's goroutine and
+// the test's assertions.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}, io.Discard, nil); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "not-an-address"}, io.Discard, nil); err == nil {
+		t.Fatal("unlistenable address should fail")
+	}
+}
+
+// TestRunServeAdviseShutdown drives the binary end to end: start on an
+// ephemeral port, probe /healthz, run one advisory twice (cold + cached),
+// then cancel the context (the signal path) and require a clean,
+// goroutine-leak-free exit.
+func TestRunServeAdviseShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	var out syncWriter
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, &out, ready)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var cfg bytes.Buffer
+	if err := config.FromAPB1(300_000, 8).Encode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	body := cfg.Bytes()
+	var first []byte
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/advise", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advise %d: %d %s", i, resp.StatusCode, b)
+		}
+		if i == 0 {
+			first = b
+			continue
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatal("cached advisory differs from cold advisory")
+		}
+		if got := resp.Header.Get("X-Warlock-Cache"); got != "hit" {
+			t.Fatalf("second advise cache state %q, want hit", got)
+		}
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	cancel() // SIGINT/SIGTERM path
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation (drain hang)")
+	}
+	if s := out.String(); !strings.Contains(s, "listening on") || !strings.Contains(s, "clean shutdown") {
+		t.Fatalf("missing lifecycle log lines:\n%s", s)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak after shutdown: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestRunListenerConflict: binding the same port twice reports an error
+// instead of serving silently on another port.
+func TestRunListenerConflict(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := run(context.Background(), []string{"-addr", ln.Addr().String()}, io.Discard, nil); err == nil {
+		t.Fatal("port conflict should fail")
+	}
+}

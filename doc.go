@@ -9,6 +9,12 @@
 // prefetch granules, allocation schemes) through one shared, memoizing
 // pipeline, with per-scenario results bit-identical to independent Advise
 // calls; cmd/warlock exposes it as the -sweep mode.
+// internal/server is the long-running advisory service behind cmd/warlockd:
+// POST /v1/advise and /v1/sweep over the same JSON documents, with an LRU
+// response cache keyed by the canonical request fingerprint
+// (config.Fingerprint), singleflight coalescing of concurrent identical
+// requests, and evaluation state shared per schema identity; embed it via
+// warlock.NewServer.
 // bench_test.go in this directory hosts one benchmark per experiment in
 // EXPERIMENTS.md; cmd/warlock-bench regenerates the experiment tables.
 package repro

@@ -1,0 +1,126 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns the canonical content hash of the document: a
+// SHA-256 over a normalized serialization covering the schema, the query
+// mix, the disk parameters and the advisor options. Two documents that
+// differ only in cosmetic ordering — query classes listed in a different
+// order, attribute paths permuted within a class, excludeBitmaps
+// permuted — share a fingerprint; any semantic change (a cardinality, a
+// weight, a disk parameter, an option) changes it.
+//
+// The advisory service keys its response cache and request coalescing on
+// this value and evaluates Canonical documents, so requests with equal
+// fingerprints receive byte-identical responses (classes are reported in
+// canonical, name-sorted order).
+//
+// Dimension and level order are semantic (they define candidate
+// enumeration order and hierarchy structure) and deliberately stay part
+// of the hash.
+func (d *Document) Fingerprint() string {
+	return hashJSON("warlock/config/v1", d.normalized())
+}
+
+// Canonical returns a copy of the document in the ordering Fingerprint
+// hashes (queries sorted by name/weight/attributes, attributes and
+// excludeBitmaps sorted). Evaluating the canonical form is what makes
+// "equal fingerprint ⇒ byte-identical response" exact: floating-point
+// accumulations over the mix depend on class order in the last ulp, so
+// the advisory service builds from Canonical rather than the request's
+// cosmetic ordering. The receiver is not modified.
+func (d *Document) Canonical() *Document { return d.normalized() }
+
+// SchemaFingerprint hashes only the schema section. The advisory service
+// uses it as the schema-identity key under which distinct requests share
+// one interned *schema.Star and one costmodel.Cache, so attribute share
+// vectors and candidate geometries are computed once per schema rather
+// than once per request.
+func (d *Document) SchemaFingerprint() string {
+	return hashJSON("warlock/schema/v1", &d.Schema)
+}
+
+// Fingerprint returns the canonical content hash of a sweep document:
+// the normalized base configuration plus the grid and the response-time
+// target. Grid axis order is semantic (it defines scenario order in the
+// report) and stays part of the hash.
+func (d *SweepDoc) Fingerprint() string {
+	return hashJSON("warlock/sweep/v1", &struct {
+		Base     *Document
+		Grid     GridDoc
+		TargetMs float64
+	}{d.Base.normalized(), d.Grid, d.ResponseTargetMs})
+}
+
+// Canonical returns a copy of the sweep document with its base
+// canonicalized (see Document.Canonical); the grid is kept as-is, its
+// axis order being semantic.
+func (d *SweepDoc) Canonical() *SweepDoc {
+	n := *d
+	n.Base = *d.Base.normalized()
+	return &n
+}
+
+// normalized returns a deep-enough copy of the document with cosmetic
+// ordering canonicalized: attributes sorted within each query class,
+// query classes sorted by (name, weight, attributes), excludeBitmaps
+// sorted. The receiver is not modified.
+func (d *Document) normalized() *Document {
+	n := *d
+	if d.Queries != nil {
+		n.Queries = make([]QueryDoc, len(d.Queries))
+		for i, q := range d.Queries {
+			q.Attributes = append([]string(nil), q.Attributes...)
+			sort.Strings(q.Attributes)
+			n.Queries[i] = q
+		}
+		sort.SliceStable(n.Queries, func(i, j int) bool {
+			a, b := &n.Queries[i], &n.Queries[j]
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			if a.Weight != b.Weight {
+				return a.Weight < b.Weight
+			}
+			return lessStrings(a.Attributes, b.Attributes)
+		})
+	}
+	if d.Options.ExcludeBitmaps != nil {
+		n.Options.ExcludeBitmaps = append([]string(nil), d.Options.ExcludeBitmaps...)
+		sort.Strings(n.Options.ExcludeBitmaps)
+	}
+	return &n
+}
+
+func lessStrings(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// hashJSON hashes the deterministic JSON serialization of v, prefixed
+// with a kind tag so documents of different kinds can never collide.
+// Go's encoding/json is deterministic for the plain structs involved
+// (struct fields in declaration order, map keys sorted).
+func hashJSON(kind string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All fingerprinted types are plain data structs; Marshal cannot
+		// fail on them.
+		panic(fmt.Sprintf("config: fingerprint marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

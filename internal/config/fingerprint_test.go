@@ -1,0 +1,123 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpDoc() *Document { return FromAPB1(1_000_000, 16) }
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := fpDoc().Fingerprint(), fpDoc().Fingerprint()
+	if a != b {
+		t.Fatalf("same document, different fingerprints: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Fatalf("fingerprint should be lowercase sha256 hex, got %q", a)
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	base := fpDoc().Fingerprint()
+
+	reordered := fpDoc()
+	reordered.Queries[0], reordered.Queries[5] = reordered.Queries[5], reordered.Queries[0]
+	if got := reordered.Fingerprint(); got != base {
+		t.Fatal("query order should not change the fingerprint")
+	}
+
+	permuted := fpDoc()
+	attrs := permuted.Queries[9].Attributes // 4 attributes
+	attrs[0], attrs[3] = attrs[3], attrs[0]
+	if got := permuted.Fingerprint(); got != base {
+		t.Fatal("attribute order within a query should not change the fingerprint")
+	}
+
+	excl := fpDoc()
+	excl.Options.ExcludeBitmaps = []string{"Time.month", "Product.code"}
+	exclSwapped := fpDoc()
+	exclSwapped.Options.ExcludeBitmaps = []string{"Product.code", "Time.month"}
+	if excl.Fingerprint() != exclSwapped.Fingerprint() {
+		t.Fatal("excludeBitmaps order should not change the fingerprint")
+	}
+	if excl.Fingerprint() == base {
+		t.Fatal("adding excludeBitmaps must change the fingerprint")
+	}
+}
+
+func TestFingerprintSemanticSensitivity(t *testing.T) {
+	base := fpDoc().Fingerprint()
+	mutations := map[string]func(*Document){
+		"rows":        func(d *Document) { d.Schema.Fact.Rows++ },
+		"cardinality": func(d *Document) { d.Schema.Dimensions[0].Levels[0].Cardinality++ },
+		"weight":      func(d *Document) { d.Queries[0].Weight++ },
+		"attribute":   func(d *Document) { d.Queries[0].Attributes = []string{"Time.year"} },
+		"disks":       func(d *Document) { d.Disk.Disks++ },
+		"pageSize":    func(d *Document) { d.Disk.PageSize *= 2 },
+		"topN":        func(d *Document) { d.Options.TopN = 3 },
+		"contiguous":  func(d *Document) { d.Options.ContiguousHierarchy = true },
+	}
+	for name, mutate := range mutations {
+		d := fpDoc()
+		mutate(d)
+		if d.Fingerprint() == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintDoesNotMutate(t *testing.T) {
+	d := fpDoc()
+	d.Queries[0], d.Queries[5] = d.Queries[5], d.Queries[0]
+	firstQuery := d.Queries[0].Name
+	d.Fingerprint()
+	if d.Queries[0].Name != firstQuery {
+		t.Fatal("Fingerprint must not reorder the document in place")
+	}
+}
+
+func TestSchemaFingerprint(t *testing.T) {
+	base := fpDoc().SchemaFingerprint()
+
+	sameSchema := fpDoc()
+	sameSchema.Queries[0].Weight = 99
+	sameSchema.Disk.Disks = 128
+	sameSchema.Options.TopN = 2
+	if sameSchema.SchemaFingerprint() != base {
+		t.Fatal("mix/disk/options must not affect the schema fingerprint")
+	}
+	if sameSchema.Fingerprint() == fpDoc().Fingerprint() {
+		t.Fatal("mix/disk/options must affect the full fingerprint")
+	}
+
+	diffSchema := fpDoc()
+	diffSchema.Schema.Dimensions[1].SkewTheta = 0.5
+	if diffSchema.SchemaFingerprint() == base {
+		t.Fatal("schema change must change the schema fingerprint")
+	}
+}
+
+func TestSweepFingerprint(t *testing.T) {
+	base := ExampleSweep(1_000_000, 16).Fingerprint()
+	if ExampleSweep(1_000_000, 16).Fingerprint() != base {
+		t.Fatal("same sweep document, different fingerprints")
+	}
+
+	grid := ExampleSweep(1_000_000, 16)
+	grid.Grid.Disks = append(grid.Grid.Disks, 256)
+	if grid.Fingerprint() == base {
+		t.Fatal("grid change must change the sweep fingerprint")
+	}
+
+	target := ExampleSweep(1_000_000, 16)
+	target.ResponseTargetMs = 123
+	if target.Fingerprint() == base {
+		t.Fatal("target change must change the sweep fingerprint")
+	}
+
+	reordered := ExampleSweep(1_000_000, 16)
+	reordered.Base.Queries[0], reordered.Base.Queries[3] = reordered.Base.Queries[3], reordered.Base.Queries[0]
+	if reordered.Fingerprint() != base {
+		t.Fatal("base query order should not change the sweep fingerprint")
+	}
+}

@@ -35,10 +35,10 @@ type workItem struct {
 
 // evalResult is the evaluation stage's output for one candidate.
 type evalResult struct {
-	idx  int
-	ev   *costmodel.Evaluation // nil when excluded or failed
-	vio  *fragment.Violation   // post-evaluation threshold violation
-	err  error                 // evaluation failure
+	idx int
+	ev  *costmodel.Evaluation // nil when excluded or failed
+	vio *fragment.Violation   // post-evaluation threshold violation
+	err error                 // evaluation failure
 }
 
 // maxWorkers caps the evaluation pool: beyond it extra goroutines and

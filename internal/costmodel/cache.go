@@ -94,3 +94,16 @@ func (c *Cache) Geometries() int {
 	defer c.mu.Unlock()
 	return len(c.geoms)
 }
+
+// Shares reports how many distinct attribute share vectors the cache
+// currently holds. Together with Geometries it lets long-lived holders
+// (the advisory service keeps one Cache per schema identity) bound a
+// cache's growth by swapping in a fresh one.
+func (c *Cache) Shares() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shares)
+}

@@ -153,10 +153,10 @@ func (c *Collector) Ranked() ([]Ranked, error) {
 // drops the current worst retained candidate.
 type evalHeap []*costmodel.Evaluation
 
-func (h evalHeap) Len() int            { return len(h) }
-func (h evalHeap) Less(i, j int) bool  { return costLess(h[j], h[i]) }
-func (h evalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *evalHeap) Push(x any)         { *h = append(*h, x.(*costmodel.Evaluation)) }
+func (h evalHeap) Len() int           { return len(h) }
+func (h evalHeap) Less(i, j int) bool { return costLess(h[j], h[i]) }
+func (h evalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *evalHeap) Push(x any)        { *h = append(*h, x.(*costmodel.Evaluation)) }
 func (h *evalHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,0 +1,60 @@
+package server
+
+import "container/list"
+
+// lruCache is a plain LRU map: Get promotes, Add evicts the least
+// recently used entry beyond the capacity. It is not goroutine-safe;
+// the Server serializes access under its own mutex. Kept minimal on
+// purpose — the module has no external dependencies.
+type lruCache[K comparable, V any] struct {
+	max   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](max int) *lruCache[K, V] {
+	if max <= 0 {
+		max = 1
+	}
+	return &lruCache[K, V]{
+		max:   max,
+		order: list.New(),
+		items: make(map[K]*list.Element, max),
+	}
+}
+
+// Get returns the value for key and promotes it to most recently used.
+func (c *lruCache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or replaces key and reports the entry it evicted, if any.
+func (c *lruCache[K, V]) Add(key K, val V) (evicted K, ok bool) {
+	if el, found := c.items[key]; found {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return evicted, false
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	if c.order.Len() <= c.max {
+		return evicted, false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	e := oldest.Value.(*lruEntry[K, V])
+	delete(c.items, e.key)
+	return e.key, true
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[K, V]) Len() int { return c.order.Len() }

@@ -1,0 +1,550 @@
+// Package server implements warlockd, the long-running WARLOCK advisory
+// service. The paper frames WARLOCK as an interactive tool an
+// administrator consults repeatedly while exploring configurations; this
+// package turns the advisor pipeline into a network service that
+// amortizes warm state across requests the way the sweep engine
+// amortizes it across scenarios:
+//
+//   - POST /v1/advise takes a config.Document (the same JSON the warlock
+//     CLI's -config mode reads) and returns the ranked advisory as JSON.
+//   - POST /v1/sweep takes a config.SweepDoc (-sweep mode) and returns
+//     the machine-readable sweep report.
+//   - GET /healthz is a liveness probe; GET /metrics exposes plain-text
+//     counters (hits, misses, coalesced, in-flight, evaluations).
+//
+// Three layers remove repeated work:
+//
+//  1. An LRU response cache keyed by config.Fingerprint — the canonical,
+//     order-insensitive hash of the parsed request — replays cached
+//     advisories byte-identically.
+//  2. Singleflight coalescing: N concurrent requests with one
+//     fingerprint trigger exactly one pipeline evaluation; the rest
+//     share its result.
+//  3. A costmodel.Cache per schema identity (config.SchemaFingerprint):
+//     distinct-but-same-schema requests share interned *schema.Star
+//     values and therefore attribute share vectors and candidate
+//     geometries, which the evaluation cache keys by schema pointer.
+//
+// Every cached or coalesced response is byte-for-byte identical to the
+// cold response for any document with the same fingerprint: requests are
+// evaluated in canonical form (config.Document.Canonical), the cache
+// stores exactly the bytes a cold evaluation produced, and the
+// evaluation cache's values are bit-identical to uncached computation by
+// construction.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/schema"
+	"repro/internal/sweep"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheSize       = 256
+	DefaultSchemaCacheSize = 64
+	DefaultMaxBodyBytes    = 8 << 20
+)
+
+// maxCachedEntries bounds one schema entry's evaluation cache: sweeps
+// with rows/skew axes derive per-scenario schemas whose geometries and
+// share vectors accumulate in the shared cache, so a long-lived entry is
+// swapped for a fresh cache once its combined entry count grows past
+// this limit (the swap only costs warm state; results are identical
+// with and without it).
+const maxCachedEntries = 4096
+
+// Config tunes the advisory service.
+type Config struct {
+	// CacheSize is the per-endpoint response cache capacity in entries
+	// (<= 0 uses DefaultCacheSize).
+	CacheSize int
+	// SchemaCacheSize is the interned-schema cache capacity (<= 0 uses
+	// DefaultSchemaCacheSize). Each entry holds one *schema.Star plus
+	// the evaluation cache shared by every request on that schema.
+	SchemaCacheSize int
+	// MaxConcurrent limits concurrently running pipeline evaluations
+	// (<= 0 uses GOMAXPROCS). Excess evaluations queue.
+	MaxConcurrent int
+	// MaxBodyBytes limits request body size (<= 0 uses
+	// DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// Metrics is a snapshot of the service counters (also rendered by
+// GET /metrics).
+type Metrics struct {
+	// Requests counts advisory requests (/v1/advise + /v1/sweep),
+	// excluding health and metrics probes.
+	Requests int64
+	// CacheHits counts responses replayed from the response cache.
+	CacheHits int64
+	// CacheMisses counts requests that triggered a pipeline evaluation.
+	CacheMisses int64
+	// Coalesced counts requests that joined another request's in-flight
+	// evaluation instead of running their own.
+	Coalesced int64
+	// Evaluations counts pipeline runs actually performed; with
+	// coalescing and caching this can be far below Requests.
+	Evaluations int64
+	// InFlight is the number of evaluations currently running or queued
+	// on the concurrency limiter.
+	InFlight int64
+	// SchemaHits / SchemaMisses count interned-schema cache lookups.
+	SchemaHits   int64
+	SchemaMisses int64
+	// AdviseEntries / SweepEntries / SchemaEntries are current cache
+	// sizes.
+	AdviseEntries int
+	SweepEntries  int
+	SchemaEntries int
+}
+
+// schemaEntry is one interned schema identity: the canonical
+// *schema.Star every same-schema request is rewritten to, plus the
+// evaluation cache keyed off that pointer.
+type schemaEntry struct {
+	star  *schema.Star
+	cache *costmodel.Cache
+}
+
+// Server is the embeddable advisory service; it implements
+// http.Handler. Create one with New, serve it under any http.Server,
+// and Close it to cancel in-flight pipeline evaluations.
+type Server struct {
+	mux     *http.ServeMux
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	sem     chan struct{}
+	maxBody int64
+
+	mu          sync.Mutex
+	adviseCache *lruCache[string, []byte]
+	sweepCache  *lruCache[string, []byte]
+	schemas     *lruCache[string, *schemaEntry]
+
+	adviseFlight flightGroup[[]byte]
+	sweepFlight  flightGroup[[]byte]
+
+	cmu sync.Mutex // counters; coarse is fine at advisory request rates
+	c   Metrics
+}
+
+// New returns a ready-to-serve advisory service.
+func New(cfg Config) *Server {
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	schemaSize := cfg.SchemaCacheSize
+	if schemaSize <= 0 {
+		schemaSize = DefaultSchemaCacheSize
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = runtime.GOMAXPROCS(0)
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		mux:         http.NewServeMux(),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		sem:         make(chan struct{}, maxConc),
+		maxBody:     maxBody,
+		adviseCache: newLRU[string, []byte](cacheSize),
+		sweepCache:  newLRU[string, []byte](cacheSize),
+		schemas:     newLRU[string, *schemaEntry](schemaSize),
+	}
+	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels the server's base context: queued evaluations stop
+// waiting and running pipelines drain. Safe to call more than once.
+// Callers draining an http.Server should call its Shutdown first (to
+// let in-flight requests finish) and Close the advisory server after —
+// or on drain timeout, to abort the stragglers.
+func (s *Server) Close() { s.cancel() }
+
+// Metrics returns a snapshot of the service counters.
+func (s *Server) Metrics() Metrics {
+	s.cmu.Lock()
+	m := s.c
+	s.cmu.Unlock()
+	s.mu.Lock()
+	m.AdviseEntries = s.adviseCache.Len()
+	m.SweepEntries = s.sweepCache.Len()
+	m.SchemaEntries = s.schemas.Len()
+	s.mu.Unlock()
+	return m
+}
+
+func (s *Server) count(f func(*Metrics)) {
+	s.cmu.Lock()
+	f(&s.c)
+	s.cmu.Unlock()
+}
+
+// handleAdvise serves POST /v1/advise: one full advisory for one
+// configuration document.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.count(func(m *Metrics) { m.Requests++ })
+	doc, err := config.Parse(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := doc.Fingerprint()
+	if b, ok := s.cacheGet(s.adviseCache, fp); ok {
+		s.count(func(m *Metrics) { m.CacheHits++ })
+		writeJSON(w, b, "hit")
+		return
+	}
+	b, err, joined := s.adviseFlight.Do(r.Context(), fp, func() ([]byte, error) {
+		return s.evalAdvise(doc, fp)
+	})
+	if joined {
+		s.count(func(m *Metrics) { m.Coalesced++ })
+	}
+	if err != nil {
+		s.writeAdvisoryError(w, err)
+		return
+	}
+	state := "miss"
+	if joined {
+		state = "coalesced"
+	}
+	writeJSON(w, b, state)
+}
+
+// evalAdvise is the flight leader's path: build, intern, evaluate,
+// serialize, cache. It re-checks the response cache first so a flight
+// opened just as a previous identical flight finished replays the fresh
+// entry instead of evaluating again — a request can never trigger a
+// second evaluation of an already-cached advisory.
+func (s *Server) evalAdvise(doc *config.Document, fp string) ([]byte, error) {
+	if b, ok := s.cacheGet(s.adviseCache, fp); ok {
+		s.count(func(m *Metrics) { m.CacheHits++ })
+		return b, nil
+	}
+	s.count(func(m *Metrics) { m.CacheMisses++ })
+	// Build from the canonical ordering so every document sharing this
+	// fingerprint evaluates bit-identically (float accumulations over
+	// the mix are order-sensitive in the last ulp).
+	doc = doc.Canonical()
+	in, err := doc.Build()
+	if err != nil {
+		return nil, err
+	}
+	star, evalCache := s.internSchema(doc.SchemaFingerprint(), in.Schema)
+	// Safe swap: fingerprint equality means the interned star is
+	// field-identical, and mix predicates reference it by index.
+	in.Schema = star
+	in.EvalCache = evalCache
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.count(func(m *Metrics) { m.Evaluations++ })
+	res, err := core.AdviseContext(s.baseCtx, in)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(buildAdviseResponse(fp, in, res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	s.cacheAdd(s.adviseCache, fp, b)
+	return b, nil
+}
+
+// handleSweep serves POST /v1/sweep: a what-if scenario grid evaluated
+// through the shared, memoizing sweep pipeline.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.count(func(m *Metrics) { m.Requests++ })
+	doc, err := config.ParseSweep(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := doc.Fingerprint()
+	if b, ok := s.cacheGet(s.sweepCache, fp); ok {
+		s.count(func(m *Metrics) { m.CacheHits++ })
+		writeJSON(w, b, "hit")
+		return
+	}
+	b, err, joined := s.sweepFlight.Do(r.Context(), fp, func() ([]byte, error) {
+		return s.evalSweep(doc, fp)
+	})
+	if joined {
+		s.count(func(m *Metrics) { m.Coalesced++ })
+	}
+	if err != nil {
+		s.writeAdvisoryError(w, err)
+		return
+	}
+	state := "miss"
+	if joined {
+		state = "coalesced"
+	}
+	writeJSON(w, b, state)
+}
+
+func (s *Server) evalSweep(doc *config.SweepDoc, fp string) ([]byte, error) {
+	if b, ok := s.cacheGet(s.sweepCache, fp); ok {
+		s.count(func(m *Metrics) { m.CacheHits++ })
+		return b, nil
+	}
+	s.count(func(m *Metrics) { m.CacheMisses++ })
+	doc = doc.Canonical()
+	base, grid, target, err := doc.Build()
+	if err != nil {
+		return nil, err
+	}
+	star, evalCache := s.internSchema(doc.Base.SchemaFingerprint(), base.Schema)
+	base.Schema = star
+	base.EvalCache = evalCache
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.count(func(m *Metrics) { m.Evaluations++ })
+	rep, err := sweep.Run(s.baseCtx, base, grid, sweep.Options{ResponseTarget: target})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	s.cacheAdd(s.sweepCache, fp, b)
+	return b, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "warlockd_requests_total %d\n", m.Requests)
+	fmt.Fprintf(w, "warlockd_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "warlockd_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "warlockd_coalesced_total %d\n", m.Coalesced)
+	fmt.Fprintf(w, "warlockd_evaluations_total %d\n", m.Evaluations)
+	fmt.Fprintf(w, "warlockd_in_flight %d\n", m.InFlight)
+	fmt.Fprintf(w, "warlockd_schema_cache_hits_total %d\n", m.SchemaHits)
+	fmt.Fprintf(w, "warlockd_schema_cache_misses_total %d\n", m.SchemaMisses)
+	fmt.Fprintf(w, "warlockd_advise_cache_entries %d\n", m.AdviseEntries)
+	fmt.Fprintf(w, "warlockd_sweep_cache_entries %d\n", m.SweepEntries)
+	fmt.Fprintf(w, "warlockd_schema_cache_entries %d\n", m.SchemaEntries)
+}
+
+// internSchema returns the canonical star and shared evaluation cache
+// for a schema identity, interning the given star on first sight. An
+// entry whose evaluation cache outgrew maxCachedGeometries gets a fresh
+// cache (same star, warm state dropped).
+func (s *Server) internSchema(key string, star *schema.Star) (*schema.Star, *costmodel.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.schemas.Get(key); ok {
+		s.count(func(m *Metrics) { m.SchemaHits++ })
+		if e.cache.Geometries()+e.cache.Shares() > maxCachedEntries {
+			e.cache = costmodel.NewCache()
+		}
+		return e.star, e.cache
+	}
+	s.count(func(m *Metrics) { m.SchemaMisses++ })
+	e := &schemaEntry{star: star, cache: costmodel.NewCache()}
+	s.schemas.Add(key, e)
+	return e.star, e.cache
+}
+
+// acquire takes an evaluation slot, giving up when the server closes.
+func (s *Server) acquire() error {
+	s.count(func(m *Metrics) { m.InFlight++ })
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-s.baseCtx.Done():
+		s.count(func(m *Metrics) { m.InFlight-- })
+		return s.baseCtx.Err()
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.count(func(m *Metrics) { m.InFlight-- })
+}
+
+func (s *Server) cacheGet(c *lruCache[string, []byte], key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Get(key)
+}
+
+func (s *Server) cacheAdd(c *lruCache[string, []byte], key string, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Add(key, b)
+}
+
+// writeAdvisoryError maps pipeline errors to HTTP statuses: invalid
+// documents are the client's fault (400), an advisory with no feasible
+// candidate is a semantic failure (422), and cancellation means the
+// server is shutting down (503).
+func (s *Server) writeAdvisoryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, config.ErrBadConfig):
+		s.writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, core.ErrNoFeasible):
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("advisory cancelled (server shutting down or client gone)"))
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, b []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Warlock-Cache", cacheState)
+	w.Write(b)
+}
+
+// AdviseResponse is the JSON body of a successful /v1/advise call.
+type AdviseResponse struct {
+	// Fingerprint is the request's canonical content hash — the cache
+	// and coalescing key.
+	Fingerprint string `json:"fingerprint"`
+	// Schema and Disks echo the advised configuration.
+	Schema string `json:"schema"`
+	Disks  int    `json:"disks"`
+	// Candidates is the final ranked list, best compromise first.
+	Candidates []Candidate `json:"candidates"`
+	// EvaluatedCandidates / ExcludedCandidates / EvalFailures summarize
+	// the pipeline run.
+	EvaluatedCandidates int `json:"evaluatedCandidates"`
+	ExcludedCandidates  int `json:"excludedCandidates"`
+	EvalFailures        int `json:"evalFailures"`
+}
+
+// Candidate is one ranked fragmentation in an AdviseResponse.
+type Candidate struct {
+	Rank           int     `json:"rank"`
+	Name           string  `json:"name"`
+	Key            string  `json:"key"`
+	CostRank       int     `json:"costRank"`
+	ResponseRank   int     `json:"responseRank"`
+	Fragments      int64   `json:"fragments"`
+	AccessCostMs   float64 `json:"accessCostMs"`
+	ResponseMs     float64 `json:"responseMs"`
+	AllocScheme    string  `json:"allocScheme"`
+	CapacityOK     bool    `json:"capacityOK"`
+	BitmapPages    int64   `json:"bitmapPages"`
+	FactPrefetch   int     `json:"factPrefetch"`
+	BitmapPrefetch int     `json:"bitmapPrefetch"`
+	// PerClass carries the winner's per-query-class prediction in
+	// canonical (name-sorted) mix order; omitted for the other ranks to
+	// keep responses compact.
+	PerClass []ClassStat `json:"perClass,omitempty"`
+}
+
+// ClassStat is one query class's prediction for the winning candidate.
+type ClassStat struct {
+	Name         string  `json:"name"`
+	Weight       float64 `json:"weight"`
+	AccessCostMs float64 `json:"accessCostMs"`
+	ResponseMs   float64 `json:"responseMs"`
+	FactIOs      float64 `json:"factIOs"`
+	BitmapIOs    float64 `json:"bitmapIOs"`
+}
+
+func buildAdviseResponse(fp string, in *core.Input, res *core.Result) *AdviseResponse {
+	resp := &AdviseResponse{
+		Fingerprint:         fp,
+		Schema:              in.Schema.Name,
+		Disks:               in.Disk.Disks,
+		EvaluatedCandidates: len(res.Evaluations),
+		ExcludedCandidates:  len(res.Excluded),
+		EvalFailures:        len(res.EvalFailures),
+	}
+	for i, rk := range res.Ranked {
+		ev := rk.Eval
+		c := Candidate{
+			Rank:           i + 1,
+			Name:           ev.Frag.Name(in.Schema),
+			Key:            ev.Frag.Key(),
+			CostRank:       rk.CostRank,
+			ResponseRank:   rk.ResponseRank,
+			Fragments:      ev.Geometry.NumFragments(),
+			AccessCostMs:   durMs(ev.AccessCost),
+			ResponseMs:     durMs(ev.ResponseTime),
+			AllocScheme:    ev.Placement.Scheme.String(),
+			CapacityOK:     ev.CapacityOK,
+			BitmapPages:    ev.BitmapPagesTotal,
+			FactPrefetch:   ev.FactPrefetch,
+			BitmapPrefetch: ev.BitmapPrefetch,
+		}
+		if i == 0 {
+			for _, cc := range ev.PerClass {
+				c.PerClass = append(c.PerClass, ClassStat{
+					Name:         cc.Class.Name,
+					Weight:       cc.Weight,
+					AccessCostMs: durMs(cc.AccessCost),
+					ResponseMs:   durMs(cc.ResponseTime),
+					FactIOs:      cc.FactIOs,
+					BitmapIOs:    cc.BitmapIOs,
+				})
+			}
+		}
+		resp.Candidates = append(resp.Candidates, c)
+	}
+	return resp
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errFlightPanicked is what waiters observe when the leader's fn
+// panicked: the panic propagates on the leader's goroutine (net/http
+// recovers handler panics), and the flight must not wedge its key.
+var errFlightPanicked = errors.New("server: in-flight evaluation panicked")
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every caller that
+// arrives while the flight is open waits for and shares the leader's
+// result. The module has no external dependencies, so this is a minimal
+// in-tree analogue of golang.org/x/sync/singleflight, with context-aware
+// waiting: a joiner whose context is cancelled stops waiting (the flight
+// itself keeps running for the remaining waiters).
+type flightGroup[V any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{} // closed when val/err are set
+	val  V
+	err  error
+}
+
+// Do executes fn under key, coalescing concurrent duplicates. joined
+// reports whether this caller shared another caller's execution instead
+// of running fn itself.
+func (g *flightGroup[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, err error, joined bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight[V])
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err, true
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err(), true
+		}
+	}
+	f := &flight[V]{done: make(chan struct{}), err: errFlightPanicked}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	// The deferred cleanup runs even when fn panics: the flight is
+	// forgotten and done is closed, so waiters get errFlightPanicked
+	// instead of blocking forever, and the key stays usable.
+	defer func() {
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	return f.val, f.err, false
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup[int]
+	var executions atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 8
+	var joinedCount atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		v, err, joined := g.Do(context.Background(), "k", func() (int, error) {
+			executions.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 || joined {
+			t.Errorf("leader: v=%d err=%v joined=%v", v, err, joined)
+		}
+	}()
+	<-started
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, joined := g.Do(context.Background(), "k", func() (int, error) {
+				executions.Add(1)
+				return -1, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("joiner: v=%d err=%v", v, err)
+			}
+			if joined {
+				joinedCount.Add(1)
+			}
+		}()
+	}
+	// Give the joiners a moment to register on the open flight, then
+	// release the leader.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if got := joinedCount.Load(); got != callers {
+		t.Fatalf("%d callers joined, want %d", got, callers)
+	}
+}
+
+func TestFlightGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g flightGroup[string]
+	v1, err1, j1 := g.Do(context.Background(), "a", func() (string, error) { return "A", nil })
+	v2, err2, j2 := g.Do(context.Background(), "b", func() (string, error) { return "B", nil })
+	if err1 != nil || err2 != nil || j1 || j2 || v1 != "A" || v2 != "B" {
+		t.Fatalf("independent keys: %q/%v/%v and %q/%v/%v", v1, err1, j1, v2, err2, j2)
+	}
+}
+
+func TestFlightGroupSharesErrors(t *testing.T) {
+	var g flightGroup[int]
+	wantErr := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The flight is forgotten after completion: a later call re-executes.
+	v, err, joined := g.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || joined {
+		t.Fatalf("retry after error: v=%d err=%v joined=%v", v, err, joined)
+	}
+}
+
+// TestFlightGroupLeaderPanicDoesNotWedgeKey: a panicking fn must
+// propagate on the leader's goroutine, fail any waiters with an error,
+// and leave the key usable for later calls.
+func TestFlightGroupLeaderPanicDoesNotWedgeKey(t *testing.T) {
+	var g flightGroup[int]
+	started := make(chan struct{})
+	joinerDone := make(chan error, 1)
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond) // let the joiner attach
+			panic("pipeline blew up")
+		})
+	}()
+	<-started
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", func() (int, error) { return 9, nil })
+		joinerDone <- err
+	}()
+	select {
+	case err := <-joinerDone:
+		if err == nil {
+			t.Fatal("joiner of a panicked flight should see an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner wedged on a panicked flight")
+	}
+	// The key must not be poisoned.
+	v, err, joined := g.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 || joined {
+		t.Fatalf("key unusable after panic: v=%d err=%v joined=%v", v, err, joined)
+	}
+}
+
+func TestFlightGroupJoinerHonorsContext(t *testing.T) {
+	var g flightGroup[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	defer close(release)
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err, joined := g.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !joined || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled joiner: err=%v joined=%v", err, joined)
+	}
+}

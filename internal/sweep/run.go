@@ -66,7 +66,14 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 	if err != nil {
 		return nil, err
 	}
-	cache := costmodel.NewCache()
+	// A caller-provided cache (base.EvalCache) lets warm state outlive
+	// one sweep — the advisory service shares one cache per schema
+	// identity across requests. Without one the cache is scoped to this
+	// run, exactly as before.
+	cache := base.EvalCache
+	if cache == nil {
+		cache = costmodel.NewCache()
+	}
 
 	// Group scenarios by result-equivalence class; advise each group once.
 	groupOf := map[int][]int{} // group → scenario indices, ascending

@@ -50,6 +50,20 @@
 // per-scenario result is bit-for-bit identical to an independent Advise
 // call on the scenario's input.
 //
+// # Advisory service
+//
+// NewServer (or NewHandler, for plain http.Handler wiring) embeds the
+// long-running advisory service that also backs the warlockd binary:
+// POST /v1/advise and /v1/sweep take the CLI's JSON documents and return
+// advisories, with an LRU response cache keyed by the canonical request
+// fingerprint (byte-identical replay), singleflight coalescing of
+// concurrent identical requests, and evaluation state shared per schema
+// identity:
+//
+//	srv := warlock.NewServer(warlock.ServerConfig{CacheSize: 512})
+//	defer srv.Close()
+//	http.ListenAndServe(":8080", srv)
+//
 // The package re-exports the stable subset of the internal building
 // blocks; advanced users may also assemble the pipeline from the pieces
 // (fragmentation enumeration, cost model, allocation, simulation).
@@ -58,6 +72,7 @@ package warlock
 import (
 	"context"
 	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/alloc"
@@ -70,6 +85,7 @@ import (
 	"repro/internal/fragment"
 	"repro/internal/rank"
 	"repro/internal/schema"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/skew"
 	"repro/internal/sweep"
@@ -190,6 +206,34 @@ func SweepScenarios(base *Input, grid *SweepGrid) ([]SweepScenario, error) {
 // advanced callers wiring Input.EvalCache by hand; Sweep manages one
 // per run automatically.
 func NewEvalCache() *EvalCache { return costmodel.NewCache() }
+
+// Advisory service.
+type (
+	// Server is the embeddable long-running advisory service (an
+	// http.Handler): POST /v1/advise and /v1/sweep with response
+	// caching, request coalescing and per-schema evaluation-state
+	// sharing, plus /healthz and /metrics. The warlockd binary is a
+	// thin wrapper around it.
+	Server = server.Server
+	// ServerConfig tunes the advisory service (cache sizes, evaluation
+	// concurrency, request body limit).
+	ServerConfig = server.Config
+	// ServerMetrics is a snapshot of the service counters (requests,
+	// cache hits/misses, coalesced requests, evaluations, in-flight).
+	ServerMetrics = server.Metrics
+	// AdviseResponse is the JSON body of a successful /v1/advise call.
+	AdviseResponse = server.AdviseResponse
+)
+
+// NewServer returns the advisory HTTP service. Serve it under any
+// http.Server and Close it on shutdown to cancel in-flight pipeline
+// evaluations (drain the http.Server first for a graceful stop).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewHandler is NewServer for callers that only need an http.Handler to
+// mount into an existing mux. The handler's lifetime is the process's;
+// use NewServer when you need Close.
+func NewHandler(cfg ServerConfig) http.Handler { return server.New(cfg) }
 
 // Simulation and validation.
 type (
