@@ -45,6 +45,7 @@ func BenchmarkAdvise(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			in := benchInput(b, 0, 0, 16)
 			in.Parallelism = bc.par
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Advise(in); err != nil {
@@ -79,6 +80,7 @@ func BenchmarkSweepVsColdAdvise(b *testing.B) {
 		b.Fatalf("grid has %d scenarios, want 12", len(scens))
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, sc := range scens {
 				if _, err := core.Advise(sc.Input); err != nil {
@@ -88,12 +90,52 @@ func BenchmarkSweepVsColdAdvise(b *testing.B) {
 		}
 	})
 	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sweep.Run(context.Background(), in, grid, sweep.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkAdvisePruned contrasts the branch-and-bound pruned pipeline
+// with the -no-prune baseline (results are bit-identical; the lower
+// bound only removes full evaluations of provable losers), serial and
+// parallel. It runs at the paper's APB-1 scale (24M rows, 64 disks)
+// where expensive losers dominate the candidate set — at toy scales the
+// admission cutoff rarely tightens past the bound before enumeration
+// ends.
+func BenchmarkAdvisePruned(b *testing.B) {
+	s := apb.Schema(24_000_000)
+	m, err := apb.Mix(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := apb.Disk(64)
+	d.PrefetchPages = 8
+	d.BitmapPrefetchPages = 8
+	for _, bc := range []struct {
+		name    string
+		par     int
+		disable bool
+	}{
+		{"pruned/serial", 1, false},
+		{"pruned/parallel", runtime.GOMAXPROCS(0), false},
+		{"unpruned/serial", 1, true},
+		{"unpruned/parallel", runtime.GOMAXPROCS(0), true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			in := &core.Input{Schema: s, Mix: m, Disk: d, Parallelism: bc.par, DisablePruning: bc.disable}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Advise(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func benchInput(b *testing.B, productTheta, customerTheta float64, disks int) *core.Input {
@@ -122,6 +164,7 @@ func benchAdvise(b *testing.B, in *core.Input) *core.Result {
 // produces the ranked candidate list (experiment E1).
 func BenchmarkE1CandidateRanking(b *testing.B) {
 	in := benchInput(b, 0, 0, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Advise(in); err != nil {
@@ -137,6 +180,7 @@ func BenchmarkE2DiskScaling(b *testing.B) {
 	res := benchAdvise(b, in)
 	f := res.Best().Frag
 	cfg := res.CostModelConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, disks := range []int{4, 16, 64, 256} {
@@ -156,6 +200,7 @@ func BenchmarkE3PrefetchSweep(b *testing.B) {
 	res := benchAdvise(b, in)
 	f := res.Best().Frag
 	cfg := res.CostModelConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, g := range []int{1, 8, 64, 256} {
@@ -178,6 +223,7 @@ func BenchmarkE4SkewAllocation(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := (&core.Result{Input: in}).CostModelConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, scheme := range []alloc.Scheme{alloc.RoundRobin, alloc.GreedySize} {
@@ -203,6 +249,7 @@ func BenchmarkE5BitmapSchemes(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, d := range s.Dimensions {
@@ -222,6 +269,7 @@ func BenchmarkE5BitmapSchemes(b *testing.B) {
 // (experiment E6).
 func BenchmarkE6Thresholds(b *testing.B) {
 	s := apb.Schema(benchRows)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, minPages := range []int64{1, 16, 256, 1024} {
@@ -238,6 +286,7 @@ func BenchmarkE7ModelVsSim(b *testing.B) {
 	res := benchAdvise(b, in)
 	cfg := res.CostModelConfig()
 	ev := res.Best()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sim.SingleUser(cfg, ev, 50, int64(i)); err != nil {
@@ -249,6 +298,7 @@ func BenchmarkE7ModelVsSim(b *testing.B) {
 // BenchmarkE8VolumeScaling measures advising across fact-table volumes
 // (experiment E8).
 func BenchmarkE8VolumeScaling(b *testing.B) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, rows := range []int64{250_000, 1_000_000} {
@@ -271,7 +321,11 @@ func BenchmarkE8VolumeScaling(b *testing.B) {
 // ranking sweep over pre-computed evaluations (experiment E9).
 func BenchmarkE9TwofoldTradeoff(b *testing.B) {
 	in := benchInput(b, 0, 0, 16)
+	// Retain every evaluation (LeadingPercent 100) so the Pareto front and
+	// the ranking sweep below operate on the full candidate set.
+	in.Rank.LeadingPercent = 100
 	res := benchAdvise(b, in)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rank.ParetoFront(res.Evaluations)
@@ -287,6 +341,7 @@ func BenchmarkE9TwofoldTradeoff(b *testing.B) {
 // round (experiment E10).
 func BenchmarkE10MixSensitivity(b *testing.B) {
 	in := benchInput(b, 0, 0, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		boosted, err := in.Mix.Scale("Q3-store-month", 8)
@@ -315,6 +370,7 @@ func BenchmarkE11ExecutedValidation(b *testing.B) {
 	res := benchAdvise(b, in)
 	cfg := res.CostModelConfig()
 	f := res.Best().Frag
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := validate.Run(cfg, f, 5, int64(i)); err != nil {
@@ -331,6 +387,7 @@ func BenchmarkE12MultiUser(b *testing.B) {
 	cfg := res.CostModelConfig()
 	ev := res.Best()
 	sat := costmodel.SaturationRate(ev)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := costmodel.MultiUserEstimate(ev, 0.5*sat); err != nil {
@@ -354,6 +411,7 @@ func BenchmarkAblationAllocSchemes(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := alloc.Allocate(alloc.RoundRobin, g.Pages, 16); err != nil {
@@ -394,6 +452,7 @@ func BenchmarkAblationStorageExecution(b *testing.B) {
 		b.Fatal(err)
 	}
 	c := &m.Classes[0] // Q1-group-month
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vals := []int{i % 250, i % 24}
@@ -407,6 +466,7 @@ func BenchmarkAblationStorageExecution(b *testing.B) {
 // prediction → analysis) including report rendering.
 func BenchmarkF1Pipeline(b *testing.B) {
 	in := benchInput(b, 0, 0, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Advise(in)
@@ -425,6 +485,7 @@ func BenchmarkF2AnalysisReport(b *testing.B) {
 	in := benchInput(b, 0, 0, 16)
 	res := benchAdvise(b, in)
 	best := res.Best()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		analysis.DatabaseStatistic(in.Schema, best)
@@ -444,6 +505,7 @@ func BenchmarkE13RangedDesign(b *testing.B) {
 	best := res.Best()
 	attrs := best.Frag.Attrs()
 	cfg := res.CostModelConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ranges := make([]int, len(attrs))
@@ -474,6 +536,7 @@ func BenchmarkMultiFactCoAllocation(b *testing.B) {
 		b.Fatal(err)
 	}
 	c.Mix = m
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.AdviseMulti(&core.MultiInput{Inputs: []*core.Input{a, c}}); err != nil {

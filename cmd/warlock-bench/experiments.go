@@ -49,8 +49,8 @@ func runE1(p params) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("candidates: %d evaluated, %d excluded by thresholds\n",
-		len(res.Evaluations), len(res.Excluded))
+	fmt.Printf("candidates: %d survivors (%d skipped by lower bound), %d excluded by thresholds\n",
+		res.PruneStats.Survivors, res.PruneStats.Skipped, len(res.Excluded))
 	fmt.Print(analysis.CandidateTable(in.Schema, res.Ranked))
 	return nil
 }
@@ -64,6 +64,9 @@ func runE2(p params) error {
 	if err != nil {
 		return err
 	}
+	// Retain every evaluation: the per-dimensionality pick below scans
+	// the full candidate set, not just the leading cut.
+	in.Rank.LeadingPercent = 100
 	res, err := core.Advise(in)
 	if err != nil {
 		return err
@@ -337,6 +340,9 @@ func runE9(p params) error {
 	if err != nil {
 		return err
 	}
+	// Retain every evaluation so the Pareto front and the ranking sweep
+	// below operate on the full candidate set.
+	in.Rank.LeadingPercent = 100
 	res, err := core.Advise(in)
 	if err != nil {
 		return err
@@ -548,8 +554,9 @@ func runF1(p params) error {
 	adviseT := time.Since(start)
 	fmt.Printf("input layer:      %s, %d query classes, %d disks (built in %v)\n",
 		in.Schema.Fact.Name, len(in.Mix.Classes), in.Disk.Disks, buildT.Round(time.Millisecond))
-	fmt.Printf("prediction layer: %d candidates enumerated, %d excluded, %d evaluated, %d ranked (in %v)\n",
-		len(res.Evaluations)+len(res.Excluded), len(res.Excluded), len(res.Evaluations), len(res.Ranked), adviseT.Round(time.Millisecond))
+	fmt.Printf("prediction layer: %d candidates enumerated, %d excluded, %d survivors (%d pruned by lower bound), %d ranked (in %v)\n",
+		res.PruneStats.Survivors+len(res.Excluded), len(res.Excluded),
+		res.PruneStats.Survivors, res.PruneStats.Skipped, len(res.Ranked), adviseT.Round(time.Millisecond))
 	fmt.Printf("analysis layer:   winner %s (I/O cost %v, response %v)\n",
 		res.Best().Frag.Name(in.Schema), res.Best().AccessCost.Round(time.Millisecond), res.Best().ResponseTime.Round(time.Millisecond))
 	return nil

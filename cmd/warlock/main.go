@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string) error {
 		topN          = fs.Int("top", 10, "number of ranked candidates to show")
 		leadingPct    = fs.Float64("leading", 10, "leading %% of candidates re-ranked by response time")
 		parallelism   = fs.Int("parallelism", 0, "cost-model evaluation workers (0 = GOMAXPROCS); results are identical for every value")
+		noPrune       = fs.Bool("no-prune", false, "disable branch-and-bound candidate pruning (A/B baseline; results are identical either way)")
 		candidatesCSV = fs.String("candidates-csv", "", "write the ranked candidate list to this CSV file")
 		statsCSV      = fs.String("stats-csv", "", "write the winner's per-class statistics to this CSV file")
 		profileClass  = fs.Int("profile", -1, "print the disk access profile of the query class with this index")
@@ -117,12 +118,19 @@ func run(ctx context.Context, args []string) error {
 	in.Rank.TopN = *topN
 	in.Rank.LeadingPercent = *leadingPct
 	in.Parallelism = *parallelism
+	in.DisablePruning = *noPrune
 
 	res, err := core.AdviseContext(ctx, in)
 	if err != nil {
 		return err
 	}
 	fmt.Print(analysis.Report(res))
+	if ps := res.PruneStats; ps.Enabled {
+		fmt.Printf("\npruning: %d survivors, %d evaluated, %d skipped by lower bound (%.1f%%)\n",
+			ps.Survivors, ps.Evaluated, ps.Skipped, pct(ps.Skipped, ps.Survivors))
+	} else {
+		fmt.Printf("\npruning: disabled (%d candidates evaluated)\n", ps.Evaluated)
+	}
 
 	if *profileClass >= 0 {
 		prof, err := analysis.DiskAccessProfile(in.Schema, res.Best(), *profileClass)
@@ -194,7 +202,12 @@ func runSweep(ctx context.Context, path, jsonPath string, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sweep: %d scenarios, %d advisories run (shared-state pipeline)\n\n", len(rep.Scenarios), rep.Advisories)
+	fmt.Printf("sweep: %d scenarios, %d advisories run (shared-state pipeline)\n", len(rep.Scenarios), rep.Advisories)
+	if total := rep.PruneEvaluated + rep.PruneSkipped; total > 0 {
+		fmt.Printf("pruning: %d candidates evaluated, %d skipped by lower bound (%.1f%%)\n",
+			rep.PruneEvaluated, rep.PruneSkipped, pct(rep.PruneSkipped, total))
+	}
+	fmt.Println()
 	if err := rep.Table(os.Stdout); err != nil {
 		return err
 	}
@@ -220,6 +233,14 @@ func runSweep(ctx context.Context, path, jsonPath string, workers int) error {
 		fmt.Printf("\nsweep report written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// pct is the skipped-fraction percentage, 0 when the total is zero.
+func pct(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
 }
 
 func writeFile(path string, write func(*os.File) error) error {

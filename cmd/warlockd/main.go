@@ -13,6 +13,10 @@
 //	GET  /healthz     liveness probe
 //	GET  /metrics     plain-text counters (hits, misses, coalesced, in-flight)
 //
+// With -pprof, the standard net/http/pprof profiling handlers are
+// additionally mounted under /debug/pprof/ (off by default: the
+// profiling surface should not be exposed on a public listener).
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain for -drain-timeout, then remaining pipeline evaluations
 // are cancelled via context cancellation.
@@ -25,6 +29,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +57,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		cacheSize     = fs.Int("cache-size", server.DefaultCacheSize, "advisory response cache capacity (entries per endpoint)")
 		maxConcurrent = fs.Int("max-concurrent", 0, "max concurrent pipeline evaluations (0 = GOMAXPROCS)")
 		drainTimeout  = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window before in-flight pipelines are cancelled")
+		pprofOn       = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +75,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		ready <- ln.Addr()
 	}
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: withPprof(srv, *pprofOn)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -90,4 +96,22 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	}
 	fmt.Fprintln(stdout, "warlockd: clean shutdown")
 	return nil
+}
+
+// withPprof optionally mounts the net/http/pprof handlers in front of the
+// advisory service. The explicit mux (rather than http.DefaultServeMux,
+// which the pprof package auto-registers on) keeps the profiling surface
+// strictly opt-in and leaves every other path with the service.
+func withPprof(srv http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return srv
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", srv)
+	return mux
 }

@@ -135,6 +135,64 @@ func TestRunServeAdviseShutdown(t *testing.T) {
 		before, runtime.NumGoroutine(), buf[:n])
 }
 
+// TestPprofGate: -pprof mounts the profiling handlers under /debug/pprof/
+// while leaving the service routes intact; without the flag the profiling
+// paths stay unrouted (404 from the service mux).
+func TestPprofGate(t *testing.T) {
+	start := func(t *testing.T, args []string) (base string, shutdown func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan net.Addr, 1)
+		runErr := make(chan error, 1)
+		go func() { runErr <- run(ctx, args, io.Discard, ready) }()
+		var addr net.Addr
+		select {
+		case addr = <-ready:
+		case err := <-runErr:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not come up")
+		}
+		return "http://" + addr.String(), func() {
+			http.DefaultClient.CloseIdleConnections()
+			cancel()
+			select {
+			case err := <-runErr:
+				if err != nil {
+					t.Fatalf("shutdown: %v", err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("run did not return after cancellation")
+			}
+		}
+	}
+	status := func(t *testing.T, url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	base, shutdown := start(t, []string{"-addr", "127.0.0.1:0", "-pprof"})
+	if got := status(t, base+"/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("with -pprof, /debug/pprof/cmdline: %d, want 200", got)
+	}
+	if got := status(t, base+"/healthz"); got != http.StatusOK {
+		t.Errorf("with -pprof, /healthz: %d, want 200 (service routes must survive the mux wrap)", got)
+	}
+	shutdown()
+
+	base, shutdown = start(t, []string{"-addr", "127.0.0.1:0"})
+	if got := status(t, base+"/debug/pprof/cmdline"); got != http.StatusNotFound {
+		t.Errorf("without -pprof, /debug/pprof/cmdline: %d, want 404", got)
+	}
+	shutdown()
+}
+
 // TestRunListenerConflict: binding the same port twice reports an error
 // instead of serving silently on another port.
 func TestRunListenerConflict(t *testing.T) {

@@ -15,6 +15,12 @@
 // (config.Fingerprint), singleflight coalescing of concurrent identical
 // requests, and evaluation state shared per schema identity; embed it via
 // warlock.NewServer.
+// The pipeline prunes with branch and bound: an admissible lower bound on
+// each candidate's cost pair (costmodel.LowerBound — per-class service-time
+// floors, no geometry, no allocation) is checked against the ranking
+// collector's admission cutoff, and provable losers skip the full
+// evaluation; results are bit-identical with pruning on or off
+// (Input.DisablePruning), and Result.PruneStats reports the work saved.
 // bench_test.go in this directory hosts one benchmark per experiment in
 // EXPERIMENTS.md; cmd/warlock-bench regenerates the experiment tables.
 package repro

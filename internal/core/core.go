@@ -65,6 +65,16 @@ type Input struct {
 	// streaming pipeline. <= 0 uses GOMAXPROCS. Results are bit-for-bit
 	// identical for every value; only wall-clock time changes.
 	Parallelism int
+	// DisablePruning switches off the branch-and-bound stage that skips
+	// candidates whose admissible cost lower bound proves they cannot
+	// enter the retained set. Results are bit-for-bit identical with and
+	// without pruning (the bound only ever skips provable losers); the
+	// knob exists for A/B measurement (cmd/warlock -no-prune) and
+	// benchmarking. Pruning also auto-disables when it could observably
+	// matter: under Rank.RequireCapacity (capacity is unknown without
+	// evaluation) and under Thresholds.MaxSizeCV (the only post-
+	// evaluation-only exclusion).
+	DisablePruning bool
 	// EvalCache optionally shares candidate-independent cost-model state
 	// (attribute share vectors, candidate geometries) with other
 	// advisories on the same schema — the what-if sweep engine sets one
@@ -79,13 +89,41 @@ type Result struct {
 	// Ranked is the final candidate list of the twofold heuristic,
 	// best compromise first.
 	Ranked []rank.Ranked
-	// Evaluations holds every successfully evaluated candidate (superset
-	// of the ranked ones), in enumeration order.
+	// Evaluations holds the retained candidate evaluations — the
+	// collector's leading set under the phase-1 cost order (a superset
+	// of the ranked ones), plus, under Rank.RequireCapacity, the
+	// evaluated capacity violators — in enumeration order. The retained
+	// set is deterministic (schedule-independent) and identical with and
+	// without pruning: candidates outside it are evicted either way, so
+	// the pruned pipeline's skips are unobservable here.
 	Evaluations []*costmodel.Evaluation
 	// Excluded lists candidates dropped by thresholds, with reasons.
 	Excluded []fragment.Violation
 	// EvalFailures lists candidates that failed evaluation.
 	EvalFailures []error
+	// PruneStats reports the branch-and-bound stage's work breakdown.
+	PruneStats PruneStats
+}
+
+// PruneStats summarizes the branch-and-bound pruning stage of one
+// advisory. Enabled and Survivors are deterministic; the
+// Evaluated/Skipped split depends on worker scheduling (a candidate
+// evaluated before the admission cutoff tightens would have been skipped
+// under another schedule) and is diagnostic only — it is deliberately
+// excluded from every bit-identity surface (reports, goldens, service
+// response bodies).
+type PruneStats struct {
+	// Enabled reports whether the pruning stage was active (see
+	// Input.DisablePruning for the auto-disable conditions).
+	Enabled bool
+	// Survivors counts candidates that passed the threshold pre-check:
+	// Evaluated + Skipped.
+	Survivors int
+	// Evaluated counts candidates fully priced by the cost model.
+	Evaluated int
+	// Skipped counts candidates whose admissible lower bound proved they
+	// could not enter the retained set, so evaluation was skipped.
+	Skipped int
 }
 
 // DefaultThresholds derives the paper's standard exclusions from the disk

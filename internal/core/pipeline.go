@@ -15,17 +15,24 @@ import (
 
 // The prediction layer runs as a concurrent streaming pipeline:
 //
-//	enumerate ──► prune (thresholds) ──► evaluate (N workers) ──► rank (top-k)
+//	enumerate ──► prune (thresholds) ──► bound (branch & bound) ──► evaluate (N workers) ──► rank (top-k)
 //
 // The enumerator yields candidates lazily (fragment.EnumerateSeq); the
 // threshold pre-check drops candidates before any geometry exists; a
 // worker pool prices survivors with one shared goroutine-safe
 // costmodel.Evaluator; and a streaming rank.Collector maintains the
-// twofold top-k without waiting for the full evaluation set. Every
-// per-candidate computation is pure and deterministically seeded, and all
-// ordered outputs are keyed by the candidate's enumeration index, so the
-// Result is bit-for-bit identical for any worker count — Parallelism
-// only changes wall-clock time.
+// twofold top-k without waiting for the full evaluation set. Between the
+// pre-check and the full evaluation sits a branch-and-bound stage: once
+// the collector's bounded heap fills, each worker first compares the
+// candidate's admissible cost lower bound (costmodel.LowerBound — no
+// geometry, no allocation) against the heap's published admission cutoff
+// and skips the evaluation of provable losers. Every per-candidate
+// computation is pure and deterministically seeded, all ordered outputs
+// are keyed by the candidate's enumeration index, and skipping is only
+// ever applied to candidates that could not have influenced any output,
+// so the Result is bit-for-bit identical for any worker count and with
+// pruning on or off — Parallelism and DisablePruning only change
+// wall-clock time (PruneStats records the diagnostic split).
 
 // workItem is one surviving candidate entering the evaluation stage.
 type workItem struct {
@@ -35,10 +42,11 @@ type workItem struct {
 
 // evalResult is the evaluation stage's output for one candidate.
 type evalResult struct {
-	idx int
-	ev  *costmodel.Evaluation // nil when excluded or failed
-	vio *fragment.Violation   // post-evaluation threshold violation
-	err error                 // evaluation failure
+	idx     int
+	ev      *costmodel.Evaluation // nil when excluded, failed or skipped
+	vio     *fragment.Violation   // post-evaluation threshold violation
+	err     error                 // evaluation failure
+	skipped bool                  // pruned: lower bound proved it a loser
 }
 
 // maxWorkers caps the evaluation pool: beyond it extra goroutines and
@@ -105,8 +113,21 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	source, maxCands := in.candidateSource(th)
 	workers := in.parallelism(maxCands)
 
+	// Branch-and-bound gate. Pruning must be unobservable, so it stays
+	// off whenever a skipped candidate could have surfaced anywhere:
+	// RequireCapacity filters on a value only evaluation produces, and
+	// MaxSizeCV is the one threshold only the post-evaluation check can
+	// decide (every other threshold is settled conservatively by the
+	// pre-check, so a survivor can never join Excluded after evaluation).
+	pruneOn := !in.DisablePruning && !in.Rank.RequireCapacity && th.MaxSizeCV == 0
+
 	work := make(chan workItem, 2*workers)
 	out := make(chan evalResult, 2*workers)
+
+	// The collector is shared between stage 3 (Add/AddSkipped, single
+	// goroutine) and the workers, which only read the atomically
+	// published admission cutoff.
+	coll := rank.NewCollector(in.Rank, maxCands)
 
 	// Stage 1: enumerate + prune. Runs in its own goroutine so candidates
 	// stream into the workers while later ones are still being generated.
@@ -149,6 +170,25 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 					continue
 				}
 				r := evalResult{idx: item.idx}
+				if pruneOn {
+					if cut, ok := coll.Cutoff(); ok {
+						if lbCost, lbResp, bounded := eval.LowerBound(item.frag); bounded &&
+							!cut.Admits(lbCost, lbResp, item.frag.Key()) {
+							// The bound proves the candidate cannot beat the
+							// worst retained evaluation (and the cutoff only
+							// tightens), so skipping it cannot change any
+							// output. Unbounded candidates (e.g. share-vector
+							// failures) always fall through to evaluation so
+							// their failure modes are reproduced exactly.
+							r.skipped = true
+							select {
+							case out <- r:
+							case <-ctx.Done():
+							}
+							continue
+						}
+					}
+				}
 				switch ev, err := eval.Evaluate(item.frag); {
 				case err != nil:
 					r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
@@ -176,11 +216,18 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	// collector ingests evaluations as they complete (its total-order
 	// tie-break makes arrival order irrelevant); the ordered Result
 	// slices are restored from enumeration indices after the drain.
-	coll := rank.NewCollector(in.Rank, maxCands)
+	// Skipped candidates still enter the pool count (AddSkipped) so the
+	// leading-set fraction matches the unpruned run exactly.
 	var done []evalResult
+	skipped := 0
 	for r := range out {
 		if ctx.Err() != nil {
 			continue // discard; keep draining so the workers can exit
+		}
+		if r.skipped {
+			coll.AddSkipped()
+			skipped++
+			continue
 		}
 		if r.ev != nil {
 			coll.Add(r.ev)
@@ -192,6 +239,18 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].idx < done[j].idx })
 
+	res.PruneStats = PruneStats{
+		Enabled:   pruneOn,
+		Survivors: survivors,
+		Evaluated: survivors - skipped,
+		Skipped:   skipped,
+	}
+	// Result.Evaluations is canonical: the retained leading set (plus
+	// evaluated capacity violators under RequireCapacity), restored to
+	// enumeration order. Evaluations outside it were evicted by the
+	// bounded heap — the same candidates the bound stage skips when it
+	// can — so pruned and unpruned runs assemble identical slices.
+	retained := coll.RetainedKeys()
 	res.Excluded = preVios
 	for _, r := range done {
 		switch {
@@ -199,7 +258,7 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 			res.EvalFailures = append(res.EvalFailures, r.err)
 		case r.vio != nil:
 			res.Excluded = append(res.Excluded, *r.vio)
-		default:
+		case retained[r.ev.Frag.Key()] || (in.Rank.RequireCapacity && !r.ev.CapacityOK):
 			res.Evaluations = append(res.Evaluations, r.ev)
 		}
 	}

@@ -39,7 +39,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"repro/internal/alloc"
@@ -213,8 +212,21 @@ type ClassPlan struct {
 // per-attribute behaviour plus the residual selectivity from predicates on
 // non-fragmentation dimensions, split by bitmap availability.
 func PlanClass(s *schema.Star, f *fragment.Fragmentation, scheme *bitmap.Scheme, c *workload.Class) ClassPlan {
+	var plan ClassPlan
+	planClassInto(&plan, s, f, scheme, c)
+	return plan
+}
+
+// planClassInto is PlanClass writing into an existing plan, reusing its
+// Dims capacity — the evaluator's pooled hot path derives every class
+// plan of a candidate without allocating.
+func planClassInto(plan *ClassPlan, s *schema.Star, f *fragment.Fragmentation, scheme *bitmap.Scheme, c *workload.Class) {
 	attrs := f.Attrs()
-	plan := ClassPlan{Class: c, Dims: make([]DimPlan, len(attrs)), HitProb: 1, RowSel: 1, IndexedSel: 1}
+	dims := plan.Dims
+	if cap(dims) < len(attrs) {
+		dims = make([]DimPlan, len(attrs))
+	}
+	*plan = ClassPlan{Class: c, Dims: dims[:len(attrs)], HitProb: 1, RowSel: 1, IndexedSel: 1, ReadSlices: 0}
 	for i, a := range attrs {
 		dp := DimPlan{Case: Unreferenced, FragCard: s.Cardinality(a)}
 		if p, ok := c.Predicate(a.Dim); ok {
@@ -254,7 +266,6 @@ func PlanClass(s *schema.Star, f *fragment.Fragmentation, scheme *bitmap.Scheme,
 			plan.ReadSlices += ix.ReadSlices
 		}
 	}
-	return plan
 }
 
 // FragmentIO is the predicted physical I/O of accessing one hit fragment.
@@ -372,8 +383,10 @@ func Ancestor(v, fineCard, coarseCard int, m skew.Mapping) int {
 // likely hit patterns: exactly when the outcome space is tractable,
 // otherwise by deterministic sampling seeded with sampleSeed (derived
 // from the candidate and class, see SampleSeed — never from the clock).
-// Returns seconds and whether the result is exact.
-func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl *alloc.Placement, tv []float64, sampleSeed int64) (float64, bool) {
+// Returns seconds and whether the result is exact. sc supplies the
+// pooled cursor/accumulator buffers; sc.rbusy must be all-zero on entry
+// (the pattern evaluation restores the zeros it overwrites).
+func expectedMaxResponse(cfg *Config, plan *ClassPlan, pl *alloc.Placement, tv []float64, sampleSeed int64, sc *evalScratch) (float64, bool) {
 	outcomes := Outcomes(plan, cfg.Mapping)
 	combos := 1
 	hitsPerCombo := 1
@@ -386,16 +399,17 @@ func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl 
 			break
 		}
 	}
-	busy := make([]float64, pl.Disks)
-	touched := make([]int, 0, pl.Disks)
+	busy := sc.rbusy[:pl.Disks]
+	touched := sc.touched[:0]
+	sets := sc.sets[:len(outcomes)]
+	idx := sc.idx[:len(outcomes)]
+	vals := sc.vals[:len(outcomes)]
 	evalPattern := func(choice []int) float64 {
 		// Enumerate the Cartesian product of the chosen hit sets.
-		sets := make([][]int, len(outcomes))
 		for i, c := range choice {
 			sets[i] = outcomes[i][c]
 		}
-		idx := make([]int, len(sets))
-		vals := make([]int, len(sets))
+		clear(idx)
 		for {
 			for i := range sets {
 				vals[i] = sets[i][idx[i]]
@@ -428,9 +442,10 @@ func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl 
 		return mx
 	}
 
+	choice := sc.choice[:len(outcomes)]
+	clear(choice)
 	if combos <= maxResponseOutcomes && combos*hitsPerCombo <= maxResponseWork {
 		// Exact: enumerate every outcome combination.
-		choice := make([]int, len(outcomes))
 		var sum float64
 		count := 0
 		for {
@@ -450,13 +465,14 @@ func expectedMaxResponse(cfg *Config, plan *ClassPlan, g *fragment.Geometry, pl 
 		}
 		return sum / float64(count), true
 	}
-	// Sampling fallback with a deterministic per-(candidate, class) seed.
-	rng := rand.New(rand.NewSource(sampleSeed))
-	choice := make([]int, len(outcomes))
+	// Sampling fallback with a deterministic per-(candidate, class) seed:
+	// re-seeding the pooled source replays exactly the sequence a fresh
+	// rand.New(rand.NewSource(seed)) would produce.
+	sc.rng.Seed(sampleSeed)
 	var sum float64
 	for s := 0; s < responseSamples; s++ {
 		for i := range choice {
-			choice[i] = rng.Intn(len(outcomes[i]))
+			choice[i] = sc.rng.Intn(len(outcomes[i]))
 		}
 		sum += evalPattern(choice)
 	}

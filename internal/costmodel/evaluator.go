@@ -36,6 +36,13 @@ type Evaluator struct {
 	shares [][]func() ([]float64, error)
 	// capacityPages is the disk pool's total page capacity.
 	capacityPages int64
+	// scratch pools the per-candidate evaluation buffers (service times,
+	// per-disk busy accumulators, hit-pattern cursors, class plans) so
+	// the hot path stays allocation-free across candidates. Scratch never
+	// escapes into an Evaluation; pooling cannot change results.
+	scratch sync.Pool
+	// boundStateHolder carries the lazily built LowerBound tables.
+	boundStateHolder
 }
 
 // NewEvaluator validates the configuration and precomputes the shared
@@ -147,17 +154,25 @@ func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.
 	ev.Placement = pl
 	ev.CapacityOK = pl.FitsCapacity(e.capacityPages)
 
+	// One pooled scratch per candidate: class plans are derived once and
+	// shared by the granule search and the per-class pricing below.
+	sc := e.getScratch(g.NumFragments(), pl.Disks, len(f.Attrs()), len(cfg.Mix.Classes))
+	defer e.scratch.Put(sc)
+	for i := range cfg.Mix.Classes {
+		planClassInto(&sc.plans[i], cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
+	}
+
 	// Prefetch granules: configured values win; otherwise the advisor
 	// searches for the granules minimizing the weighted access cost
 	// ("WARLOCK offers the choice to set a fixed value or to determine
 	// itself optimal values for fact tables and bitmaps", §3.1).
-	factSuggest, bmSuggest := e.optimizeGranules(f, g, scheme)
+	factSuggest, bmSuggest := e.optimizeGranules(g, sc.plans)
 	ev.FactPrefetch = cfg.Disk.EffectivePrefetch(factSuggest)
 	ev.BitmapPrefetch = cfg.Disk.EffectiveBitmapPrefetch(bmSuggest)
 
 	ev.PerClass = make([]ClassCost, len(cfg.Mix.Classes))
 	for i := range cfg.Mix.Classes {
-		cc := e.evaluateClass(f, g, scheme, pl, &cfg.Mix.Classes[i], ev.FactPrefetch, ev.BitmapPrefetch)
+		cc := e.evaluateClass(f, g, pl, &sc.plans[i], ev.FactPrefetch, ev.BitmapPrefetch, sc)
 		cc.Weight = e.weights[i]
 		ev.PerClass[i] = cc
 		ev.AccessCost += time.Duration(float64(cc.AccessCost) * cc.Weight)
@@ -167,18 +182,22 @@ func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.
 }
 
 // evaluateClass computes the ClassCost of one class.
-func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme, pl *alloc.Placement, c *workload.Class, factGranule, bmGranule int) ClassCost {
+func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometry, pl *alloc.Placement, plan *ClassPlan, factGranule, bmGranule int, sc *evalScratch) ClassCost {
 	cfg := e.cfg
+	c := plan.Class
 	cc := ClassCost{Class: c, DiskBusy: make([]time.Duration, pl.Disks)}
-	plan := PlanClass(cfg.Schema, f, scheme, c)
 	cc.HitProb = plan.HitProb
 	n := g.NumFragments()
 	cc.FragmentsHit = plan.HitProb * float64(n)
 
 	// Per-fragment service time if hit, shared by the expectation terms
-	// below and by the hit-pattern enumeration.
-	tv := make([]float64, n)
-	busy := make([]float64, pl.Disks)
+	// below and by the hit-pattern enumeration. tv was zeroed when the
+	// scratch was acquired; every Pages>0 entry is overwritten per class
+	// and the Pages==0 entries stay zero, so reuse across the candidate's
+	// classes is exact.
+	tv := sc.tv[:n]
+	busy := sc.busy[:pl.Disks]
+	clear(busy)
 	var totalBusy float64
 	for v := int64(0); v < n; v++ {
 		rows := g.Rows[v]
@@ -187,7 +206,7 @@ func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometr
 			continue
 		}
 		cc.SelectedRows += plan.HitProb * rows * plan.RowSel
-		io := FragmentCost(&plan, g.PageSize, b, rows, factGranule, bmGranule)
+		io := FragmentCost(plan, g.PageSize, b, rows, factGranule, bmGranule)
 		cc.FactIOs += plan.HitProb * io.FactIOs
 		cc.FactPages += plan.HitProb * io.FactPages
 		cc.BitmapIOs += plan.HitProb * io.BitmapIOs
@@ -202,7 +221,7 @@ func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometr
 		cc.DiskBusy[d] = time.Duration(bz * float64(time.Second))
 	}
 	cc.AccessCost = time.Duration(totalBusy * float64(time.Second))
-	resp, exact := expectedMaxResponse(cfg, &plan, g, pl, tv, SampleSeed(f, c))
+	resp, exact := expectedMaxResponse(cfg, plan, pl, tv, SampleSeed(f, c), sc)
 	cc.ResponseTime = time.Duration(resp * float64(time.Second))
 	cc.ResponseExact = exact
 	return cc
@@ -211,8 +230,9 @@ func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometr
 // optimizeGranules searches the power-of-two granules up to PrefetchCap
 // for the fact-table and bitmap granules minimizing the workload-weighted
 // access cost on a representative (average-size) fragment. Fact and bitmap
-// costs are independent, so the two searches are separable.
-func (e *Evaluator) optimizeGranules(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (factG, bmG int) {
+// costs are independent, so the two searches are separable. plans holds
+// the candidate's pre-derived class plans, in mix order.
+func (e *Evaluator) optimizeGranules(g *fragment.Geometry, plans []ClassPlan) (factG, bmG int) {
 	cfg := e.cfg
 	st := g.Stats()
 	avgP := int64(st.AvgPages + 0.5)
@@ -220,10 +240,6 @@ func (e *Evaluator) optimizeGranules(f *fragment.Fragmentation, g *fragment.Geom
 		avgP = 1
 	}
 	avgR := avgRows(g)
-	plans := make([]ClassPlan, len(cfg.Mix.Classes))
-	for i := range cfg.Mix.Classes {
-		plans[i] = PlanClass(cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
-	}
 	cost := func(fg, bg int, factPart bool) float64 {
 		var total float64
 		for i := range plans {

@@ -1,0 +1,76 @@
+package costmodel
+
+import "math/rand"
+
+// evalScratch is the pooled per-candidate working set of the evaluation
+// hot path. Nothing in it escapes into an Evaluation (geometries,
+// per-class costs and disk profiles are still freshly allocated), so
+// reuse cannot change results; the zeroing discipline is documented at
+// each use site.
+type evalScratch struct {
+	// tv is the per-fragment service time, zeroed on acquisition.
+	tv []float64
+	// busy accumulates per-disk busy time in evaluateClass (zeroed per
+	// class); rbusy is the hit-pattern enumeration's accumulator, kept
+	// all-zero between patterns by the enumeration itself.
+	busy, rbusy []float64
+	// touched lists the disks a pattern actually loaded (capacity =
+	// disks, so appends never regrow it).
+	touched []int
+	// sets/idx/vals/choice are the hit-pattern cursors, one entry per
+	// fragmentation attribute.
+	sets      [][]int
+	idx, vals []int
+	choice    []int
+	// plans holds the candidate's per-class plans, in mix order; Dims
+	// capacity is reused across candidates.
+	plans []ClassPlan
+	// rng replays the deterministic sampling fallback: re-seeded per
+	// (candidate, class), it produces exactly the sequence a fresh
+	// rand.New(rand.NewSource(seed)) would.
+	rng *rand.Rand
+}
+
+// getScratch returns a pooled scratch sized for a candidate with the
+// given fragment count, disk count, attribute count and class count.
+// tv and rbusy are zeroed; busy/idx/choice are zeroed at their use sites.
+func (e *Evaluator) getScratch(frags int64, disks, dims, classes int) *evalScratch {
+	sc, _ := e.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{rng: rand.New(rand.NewSource(0))}
+	}
+	sc.tv = growFloats(sc.tv, int(frags))
+	clear(sc.tv)
+	sc.busy = growFloats(sc.busy, disks)
+	sc.rbusy = growFloats(sc.rbusy, disks)
+	clear(sc.rbusy)
+	if cap(sc.touched) < disks {
+		sc.touched = make([]int, 0, disks)
+	}
+	if cap(sc.sets) < dims {
+		sc.sets = make([][]int, dims)
+	}
+	sc.sets = sc.sets[:dims]
+	sc.idx = growInts(sc.idx, dims)
+	sc.vals = growInts(sc.vals, dims)
+	sc.choice = growInts(sc.choice, dims)
+	if cap(sc.plans) < classes {
+		sc.plans = make([]ClassPlan, classes)
+	}
+	sc.plans = sc.plans[:classes]
+	return sc
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/costmodel"
 )
@@ -71,6 +73,43 @@ type Collector struct {
 	seen    int // pool size (evaluations added, after capacity filter)
 	total   int // evaluations offered, including capacity-filtered ones
 	h       evalHeap
+	// cutoff is the published admission threshold: a snapshot of the
+	// heap's worst retained tuple once the heap is full. It is written
+	// only by Add (the pipeline's single collection goroutine) and read
+	// lock-free by the evaluation workers deciding whether a candidate's
+	// lower bound can still beat the retained set — the atomic pointer
+	// makes those cross-goroutine reads race-free.
+	cutoff atomic.Pointer[Cutoff]
+}
+
+// Cutoff is a point-in-time admission threshold of a full collector
+// heap: the phase-1 tuple (access cost, response time, candidate key) of
+// the worst retained evaluation. Once the heap is full this tuple is
+// monotone non-increasing under the phase-1 order — every later Add can
+// only replace the worst with something better — so a candidate whose
+// cost tuple is provably at or above ANY published cutoff can never
+// enter the final retained set.
+type Cutoff struct {
+	AccessCost   time.Duration
+	ResponseTime time.Duration
+	Key          string
+}
+
+// Admits reports whether a candidate with the given admissible lower
+// bounds on its cost pair could still enter the retained set: true
+// unless the cutoff tuple is strictly below the bound tuple in the
+// phase-1 order. The comparison is strict so a duplicate of the current
+// worst retained candidate (equal tuple, equal key) is never skipped —
+// it must be evaluated to keep results identical to the unpruned run.
+func (c *Cutoff) Admits(lbCost, lbResp time.Duration, key string) bool {
+	// !(cutoff < bound) in the (cost, resp, key) lexicographic order.
+	if c.AccessCost != lbCost {
+		return c.AccessCost > lbCost
+	}
+	if c.ResponseTime != lbResp {
+		return c.ResponseTime > lbResp
+	}
+	return c.Key >= key
 }
 
 // NewCollector returns a streaming collector for the given ranking
@@ -109,6 +148,45 @@ func (c *Collector) Add(ev *costmodel.Evaluation) {
 	if c.bound > 0 && len(c.h) > c.bound {
 		heap.Pop(&c.h) // evict the current worst
 	}
+	if c.bound > 0 && len(c.h) == c.bound {
+		worst := c.h[0]
+		cut := Cutoff{AccessCost: worst.AccessCost, ResponseTime: worst.ResponseTime, Key: worst.Frag.Key()}
+		if prev := c.cutoff.Load(); prev == nil || *prev != cut {
+			c.cutoff.Store(&cut)
+		}
+	}
+}
+
+// AddSkipped records a candidate that was proven a loser by its lower
+// bound and never evaluated. It still counts toward the pool size so the
+// leading-set fraction — and hence Ranked — is identical to the run that
+// evaluates everything. Only candidates the admission cutoff rejects may
+// be recorded here; under RequireCapacity no candidate may be skipped at
+// all (capacity is unknown without evaluation).
+func (c *Collector) AddSkipped() {
+	c.total++
+	c.seen++
+}
+
+// Cutoff returns the latest published admission threshold. ok is false
+// until the bounded heap first fills (or always, for unbounded
+// collectors). Safe for concurrent use with Add from one goroutine.
+func (c *Collector) Cutoff() (Cutoff, bool) {
+	if p := c.cutoff.Load(); p != nil {
+		return *p, true
+	}
+	return Cutoff{}, false
+}
+
+// RetainedKeys returns the candidate keys currently retained by the
+// bounded heap — the deterministic survivor set of the phase-1 order,
+// independent of Add order and of how many provable losers were skipped.
+func (c *Collector) RetainedKeys() map[string]bool {
+	keys := make(map[string]bool, len(c.h))
+	for _, ev := range c.h {
+		keys[ev.Frag.Key()] = true
+	}
+	return keys
 }
 
 // Seen returns the pool size so far (added evaluations that passed the

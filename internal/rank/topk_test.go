@@ -149,3 +149,114 @@ func TestCollectorEmpty(t *testing.T) {
 		t.Fatalf("got %v", err)
 	}
 }
+
+// TestCollectorCutoff covers the atomically published admission cutoff:
+// absent until the heap fills, then tracking the worst retained
+// evaluation, monotonically tightening, and strict about equal tuples
+// (a duplicate of the worst retained must always be admitted so the
+// pruned pipeline evaluates exactly the candidates the unpruned one
+// retains).
+func TestCollectorCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	evals := randomEvals(t, rng, 40, false, false)
+	c := NewCollector(Options{LeadingPercent: 10, MinLeading: 5}, len(evals))
+	// bound = leadSize(40,10,5) = 5: no cutoff until 5 adds.
+	for i, ev := range evals[:5] {
+		if _, ok := c.Cutoff(); ok {
+			t.Fatalf("cutoff published after only %d adds", i)
+		}
+		c.Add(ev)
+	}
+	cut, ok := c.Cutoff()
+	if !ok {
+		t.Fatal("no cutoff once the heap is full")
+	}
+	// The worst retained candidate's own tuple is never rejected.
+	if !cut.Admits(cut.AccessCost, cut.ResponseTime, cut.Key) {
+		t.Fatal("cutoff rejects its own tuple; equal tuples must be admitted")
+	}
+	if cut.Admits(cut.AccessCost+1, cut.ResponseTime, cut.Key) {
+		t.Fatal("cutoff admits a strictly costlier tuple")
+	}
+	if !cut.Admits(cut.AccessCost-1, time.Duration(1<<50), "zzz") {
+		t.Fatal("cutoff must admit any strictly cheaper access cost")
+	}
+	if cut.Admits(cut.AccessCost, cut.ResponseTime+1, cut.Key) {
+		t.Fatal("tie on cost must fall through to response time")
+	}
+	prev := cut
+	for _, ev := range evals[5:] {
+		c.Add(ev)
+		cur, ok := c.Cutoff()
+		if !ok {
+			t.Fatal("cutoff vanished")
+		}
+		// Monotone: the new cutoff never admits less than... i.e. any
+		// tuple rejected by the old cutoff stays rejected-or-better:
+		// the worst retained only ever improves under costLess order.
+		if prev.AccessCost < cur.AccessCost ||
+			(prev.AccessCost == cur.AccessCost && prev.ResponseTime < cur.ResponseTime) ||
+			(prev.AccessCost == cur.AccessCost && prev.ResponseTime == cur.ResponseTime && prev.Key < cur.Key) {
+			t.Fatalf("cutoff loosened: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	// The final cutoff is the worst retained evaluation.
+	keys := c.RetainedKeys()
+	if len(keys) != 5 {
+		t.Fatalf("retained %d keys, want 5", len(keys))
+	}
+	if !keys[prev.Key] {
+		t.Fatal("final cutoff key not among retained keys")
+	}
+}
+
+// TestCollectorAddSkipped: skipped candidates keep the pool count (and
+// with it the leading-set size) identical to the unpruned run without
+// entering the heap.
+func TestCollectorAddSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	evals := randomEvals(t, rng, 60, false, false)
+	full := NewCollector(Options{LeadingPercent: 10, MinLeading: 5, TopN: 60}, len(evals))
+	part := NewCollector(Options{LeadingPercent: 10, MinLeading: 5, TopN: 60}, len(evals))
+	// Feed the full stream to one collector; give the other only the
+	// best half by access cost and AddSkipped for the rest.
+	sorted := append([]*costmodel.Evaluation(nil), evals...)
+	sortEvalsByCost(sorted)
+	keep := map[string]bool{}
+	for _, ev := range sorted[:30] {
+		keep[ev.Frag.Key()] = true
+	}
+	for _, ev := range evals {
+		full.Add(ev)
+		if keep[ev.Frag.Key()] {
+			part.Add(ev)
+		} else {
+			part.AddSkipped()
+		}
+	}
+	a, err := full.Ranked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := part.Ranked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("ranked sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Eval.Frag.Key() != b[i].Eval.Frag.Key() {
+			t.Fatalf("ranked[%d] differs: %s vs %s", i, a[i].Eval.Frag.Key(), b[i].Eval.Frag.Key())
+		}
+	}
+}
+
+func sortEvalsByCost(evals []*costmodel.Evaluation) {
+	for i := 1; i < len(evals); i++ {
+		for j := i; j > 0 && costLess(evals[j], evals[j-1]); j-- {
+			evals[j], evals[j-1] = evals[j-1], evals[j]
+		}
+	}
+}

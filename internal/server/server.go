@@ -102,6 +102,11 @@ type Metrics struct {
 	// InFlight is the number of evaluations currently running or queued
 	// on the concurrency limiter.
 	InFlight int64
+	// PruneEvaluated / PruneSkipped aggregate the pipeline's
+	// branch-and-bound work split over every advisory run by this server
+	// (advise candidates plus sweep representatives). Diagnostic only.
+	PruneEvaluated int64
+	PruneSkipped   int64
 	// SchemaHits / SchemaMisses count interned-schema cache lookups.
 	SchemaHits   int64
 	SchemaMisses int64
@@ -279,6 +284,10 @@ func (s *Server) evalAdvise(doc *config.Document, fp string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.count(func(m *Metrics) {
+		m.PruneEvaluated += int64(res.PruneStats.Evaluated)
+		m.PruneSkipped += int64(res.PruneStats.Skipped)
+	})
 	b, err := json.MarshalIndent(buildAdviseResponse(fp, in, res), "", "  ")
 	if err != nil {
 		return nil, err
@@ -348,6 +357,10 @@ func (s *Server) evalSweep(doc *config.SweepDoc, fp string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.count(func(m *Metrics) {
+		m.PruneEvaluated += int64(rep.PruneEvaluated)
+		m.PruneSkipped += int64(rep.PruneSkipped)
+	})
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		return nil, err
@@ -370,6 +383,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "warlockd_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "warlockd_coalesced_total %d\n", m.Coalesced)
 	fmt.Fprintf(w, "warlockd_evaluations_total %d\n", m.Evaluations)
+	fmt.Fprintf(w, "warlockd_prune_evaluated_total %d\n", m.PruneEvaluated)
+	fmt.Fprintf(w, "warlockd_prune_skipped_total %d\n", m.PruneSkipped)
 	fmt.Fprintf(w, "warlockd_in_flight %d\n", m.InFlight)
 	fmt.Fprintf(w, "warlockd_schema_cache_hits_total %d\n", m.SchemaHits)
 	fmt.Fprintf(w, "warlockd_schema_cache_misses_total %d\n", m.SchemaMisses)

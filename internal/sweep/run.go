@@ -53,6 +53,11 @@ type Report struct {
 	// Advisories is the number of distinct advisories actually run —
 	// grid size minus the scenarios answered by result sharing.
 	Advisories int
+	// PruneEvaluated and PruneSkipped aggregate the branch-and-bound
+	// stage's work split over the distinct advisories (representatives
+	// only — shared scenarios are not double-counted). Diagnostic only,
+	// schedule-dependent; deliberately absent from WriteJSON.
+	PruneEvaluated, PruneSkipped int
 }
 
 // Run expands the grid and evaluates every scenario through the shared,
@@ -135,6 +140,10 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 	}
 	for _, ri := range reps {
 		adv := results[ri]
+		if adv.res != nil {
+			rep.PruneEvaluated += adv.res.PruneStats.Evaluated
+			rep.PruneSkipped += adv.res.PruneStats.Skipped
+		}
 		for _, i := range groupOf[scens[ri].group] {
 			sr := ScenarioResult{Scenario: scens[i], Err: adv.err}
 			if adv.res != nil {
@@ -150,6 +159,7 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 					Evaluations:  adv.res.Evaluations,
 					Excluded:     adv.res.Excluded,
 					EvalFailures: adv.res.EvalFailures,
+					PruneStats:   adv.res.PruneStats,
 				}
 			}
 			rep.Scenarios[i] = sr

@@ -97,6 +97,89 @@ func TestGoldenDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestGoldenPrunedVsUnpruned guards the branch-and-bound stage's core
+// contract over the golden corpus: with pruning disabled, both reference
+// workloads must render byte-identically and carry identical result
+// surfaces (ranking, retained evaluations, exclusions) at every
+// parallelism level — the lower bound may only ever remove work, never
+// results.
+func TestGoldenPrunedVsUnpruned(t *testing.T) {
+	apb1 := func(t *testing.T) *warlock.Input {
+		t.Helper()
+		schema := warlock.APB1Schema(1_000_000)
+		mix, err := warlock.APB1Mix(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk := warlock.DefaultDisk(16)
+		disk.PrefetchPages = 8
+		disk.BitmapPrefetchPages = 8
+		return &warlock.Input{Schema: schema, Mix: mix, Disk: disk}
+	}
+	for _, tc := range []struct {
+		name  string
+		input func(*testing.T) *warlock.Input
+	}{
+		{"apb1", apb1},
+		{"skewed-retail", skewedRetailInput},
+	} {
+		for _, par := range []int{1, 4, 0 /* GOMAXPROCS */} {
+			pruned := tc.input(t)
+			pruned.Parallelism = par
+			unpruned := tc.input(t)
+			unpruned.Parallelism = par
+			unpruned.DisablePruning = true
+
+			rp, err := warlock.Advise(pruned)
+			if err != nil {
+				t.Fatalf("%s par=%d pruned: %v", tc.name, par, err)
+			}
+			ru, err := warlock.Advise(unpruned)
+			if err != nil {
+				t.Fatalf("%s par=%d unpruned: %v", tc.name, par, err)
+			}
+			if warlock.Report(rp) != warlock.Report(ru) {
+				t.Fatalf("%s par=%d: rendered advisory differs with pruning disabled", tc.name, par)
+			}
+			assertSameResult(t, tc.name, par, rp, ru)
+			if !rp.PruneStats.Enabled || ru.PruneStats.Enabled {
+				t.Fatalf("%s par=%d: PruneStats.Enabled pruned=%v unpruned=%v",
+					tc.name, par, rp.PruneStats.Enabled, ru.PruneStats.Enabled)
+			}
+		}
+	}
+}
+
+// assertSameResult compares every deterministic surface of two advisories
+// field by field (PruneStats is diagnostic and deliberately excluded).
+func assertSameResult(t *testing.T, name string, par int, a, b *warlock.Result) {
+	t.Helper()
+	if len(a.Ranked) != len(b.Ranked) || len(a.Evaluations) != len(b.Evaluations) ||
+		len(a.Excluded) != len(b.Excluded) || len(a.EvalFailures) != len(b.EvalFailures) {
+		t.Fatalf("%s par=%d: surface sizes differ: ranked %d/%d evals %d/%d excluded %d/%d failures %d/%d",
+			name, par, len(a.Ranked), len(b.Ranked), len(a.Evaluations), len(b.Evaluations),
+			len(a.Excluded), len(b.Excluded), len(a.EvalFailures), len(b.EvalFailures))
+	}
+	for i := range a.Ranked {
+		x, y := a.Ranked[i].Eval, b.Ranked[i].Eval
+		if x.Frag.Key() != y.Frag.Key() || x.AccessCost != y.AccessCost || x.ResponseTime != y.ResponseTime {
+			t.Fatalf("%s par=%d: ranked[%d] differs: %s(%v,%v) vs %s(%v,%v)", name, par, i,
+				x.Frag.Key(), x.AccessCost, x.ResponseTime, y.Frag.Key(), y.AccessCost, y.ResponseTime)
+		}
+	}
+	for i := range a.Evaluations {
+		x, y := a.Evaluations[i], b.Evaluations[i]
+		if x.Frag.Key() != y.Frag.Key() || x.AccessCost != y.AccessCost || x.ResponseTime != y.ResponseTime {
+			t.Fatalf("%s par=%d: evaluations[%d] differs: %s vs %s", name, par, i, x.Frag.Key(), y.Frag.Key())
+		}
+	}
+	for i := range a.Excluded {
+		if a.Excluded[i].Reason != b.Excluded[i].Reason {
+			t.Fatalf("%s par=%d: excluded[%d] differs", name, par, i)
+		}
+	}
+}
+
 // skewedRetailInput reproduces the examples/skewed-retail configuration.
 func skewedRetailInput(t *testing.T) *warlock.Input {
 	t.Helper()

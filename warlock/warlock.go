@@ -21,12 +21,16 @@
 // # Concurrency
 //
 // The prediction layer runs as a concurrent streaming pipeline: lazy
-// candidate enumeration, threshold pruning, a pool of cost-model workers,
-// and a streaming top-k ranking stage. Input.Parallelism sets the worker
-// count (<= 0 uses GOMAXPROCS); results are bit-for-bit identical for
-// every value, so the knob trades wall-clock time only. AdviseContext
-// adds cancellation: on ctx cancellation the pipeline drains cleanly and
-// the context's error is returned.
+// candidate enumeration, threshold pruning, a branch-and-bound stage
+// that skips candidates whose admissible cost lower bound proves they
+// cannot enter the retained set (Result.PruneStats reports the split;
+// Input.DisablePruning turns it off for A/B runs), a pool of cost-model
+// workers, and a streaming top-k ranking stage. Input.Parallelism sets
+// the worker count (<= 0 uses GOMAXPROCS); results are bit-for-bit
+// identical for every value and with pruning on or off, so both knobs
+// trade wall-clock time only. AdviseContext adds cancellation: on ctx
+// cancellation the pipeline drains cleanly and the context's error is
+// returned.
 //
 // # What-if sweeps
 //
@@ -146,6 +150,12 @@ type (
 	Input = core.Input
 	// Result carries ranked candidates, evaluations and exclusions.
 	Result = core.Result
+	// PruneStats reports the branch-and-bound pruning stage's work
+	// breakdown for one advisory (Result.PruneStats): candidates whose
+	// admissible cost lower bound proved they could not enter the
+	// retained set are skipped without full evaluation. Pruning never
+	// changes results — Input.DisablePruning exists for A/B measurement.
+	PruneStats = core.PruneStats
 	// MultiInput advises several fact tables sharing one disk pool.
 	MultiInput = core.MultiInput
 	// MultiResult is the combined multi-fact-table advisory.
