@@ -13,13 +13,23 @@
 //	GET  /healthz     liveness probe
 //	GET  /metrics     plain-text counters (hits, misses, coalesced, in-flight)
 //
+// Every request is fully request-scoped: a client that disconnects (or
+// exceeds -request-timeout) cancels its own pipeline evaluation unless
+// coalesced waiters still need the result. Under overload, -max-queue
+// bounds the evaluation queue (excess requests are shed with 503 +
+// Retry-After) and -queue-timeout bounds the wait for a slot; -slow-log
+// logs requests over a threshold with their fingerprint and stage
+// breakdown.
+//
 // With -pprof, the standard net/http/pprof profiling handlers are
 // additionally mounted under /debug/pprof/ (off by default: the
 // profiling surface should not be exposed on a public listener).
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain for -drain-timeout, then remaining pipeline evaluations
-// are cancelled via context cancellation.
+// are cancelled via context cancellation. With -request-timeout below
+// -drain-timeout every in-flight request is guaranteed to resolve (with
+// an advisory or a 504) inside the drain window.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -53,17 +64,29 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("warlockd", flag.ContinueOnError)
 	var (
-		addr          = fs.String("addr", ":8080", "listen address")
-		cacheSize     = fs.Int("cache-size", server.DefaultCacheSize, "advisory response cache capacity (entries per endpoint)")
-		maxConcurrent = fs.Int("max-concurrent", 0, "max concurrent pipeline evaluations (0 = GOMAXPROCS)")
-		drainTimeout  = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window before in-flight pipelines are cancelled")
-		pprofOn       = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		addr           = fs.String("addr", ":8080", "listen address")
+		cacheSize      = fs.Int("cache-size", server.DefaultCacheSize, "advisory response cache capacity (entries per endpoint)")
+		maxConcurrent  = fs.Int("max-concurrent", 0, "max concurrent pipeline evaluations (0 = GOMAXPROCS)")
+		requestTimeout = fs.Duration("request-timeout", 0, "per-request deadline, evaluation included; exceeding it returns 504 and cancels the pipeline (0 = no timeout). Keep it below -drain-timeout so a drain can always finish in-flight requests")
+		queueTimeout   = fs.Duration("queue-timeout", 0, "max wait for an evaluation slot before answering 503 + Retry-After (0 = wait as long as the request allows)")
+		maxQueue       = fs.Int("max-queue", 0, "max evaluations waiting for a slot; beyond it requests are shed with 503 + Retry-After (0 = unbounded)")
+		slowLog        = fs.Duration("slow-log", 0, "log requests slower than this with fingerprint and stage breakdown (0 = off)")
+		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window before in-flight pipelines are cancelled")
+		pprofOn        = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{CacheSize: *cacheSize, MaxConcurrent: *maxConcurrent})
+	srv := server.New(server.Config{
+		CacheSize:            *cacheSize,
+		MaxConcurrent:        *maxConcurrent,
+		RequestTimeout:       *requestTimeout,
+		QueueTimeout:         *queueTimeout,
+		MaxQueue:             *maxQueue,
+		SlowRequestThreshold: *slowLog,
+		Logger:               log.New(os.Stderr, "", log.LstdFlags),
+	})
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)

@@ -205,3 +205,61 @@ func TestRunListenerConflict(t *testing.T) {
 		t.Fatal("port conflict should fail")
 	}
 }
+
+// TestRunRequestTimeoutFlag: the binary wired with -request-timeout turns
+// an unmeetable deadline into a 504 and counts it on /metrics.
+func TestRunRequestTimeoutFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-request-timeout", "1ns", "-drain-timeout", "5s",
+		}, io.Discard, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	base := "http://" + addr.String()
+
+	var cfg bytes.Buffer
+	if err := config.FromAPB1(300_000, 8).Encode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/advise", "application/json", &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("advise under 1ns deadline: %d %s, want 504", resp.StatusCode, b)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(m), "warlockd_timeouts_total 1") {
+		t.Fatalf("metrics missing timeout count:\n%s", m)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}

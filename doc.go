@@ -14,7 +14,10 @@
 // response cache keyed by the canonical request fingerprint
 // (config.Fingerprint), singleflight coalescing of concurrent identical
 // requests, and evaluation state shared per schema identity; embed it via
-// warlock.NewServer.
+// warlock.NewServer. Requests are request-scoped — a departed or timed-out
+// client cancels its own evaluation unless coalesced waiters remain — and
+// the service sheds load beyond a bounded queue (503 + Retry-After), with
+// stage latency histograms and timeout/shed counters on /metrics.
 // The pipeline prunes with branch and bound: an admissible lower bound on
 // each candidate's cost pair (costmodel.LowerBound — per-class service-time
 // floors, no geometry, no allocation) is checked against the ranking

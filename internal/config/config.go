@@ -120,7 +120,10 @@ func Parse(r io.Reader) (*Document, error) {
 	dec.DisallowUnknownFields()
 	var d Document
 	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		// Double-wrap so transport-level causes (e.g. *http.MaxBytesError
+		// from a body-size limit) stay detectable via errors.As; the
+		// rendered message is unchanged.
+		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	return &d, nil
 }

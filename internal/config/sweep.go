@@ -67,7 +67,9 @@ func ParseSweep(r io.Reader) (*SweepDoc, error) {
 	dec.DisallowUnknownFields()
 	var d SweepDoc
 	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		// Double-wrap for the same reason as Parse: keep transport-level
+		// causes (*http.MaxBytesError) in the chain.
+		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	return &d, nil
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bitmap"
@@ -103,6 +104,28 @@ type Result struct {
 	EvalFailures []error
 	// PruneStats reports the branch-and-bound stage's work breakdown.
 	PruneStats PruneStats
+	// Timings reports wall-clock stage durations of this advisory run.
+	// Diagnostic only (service slow-request logs, latency accounting):
+	// never serialized into advisory outputs, so bit-identity surfaces
+	// are unaffected.
+	Timings StageTimings
+}
+
+// StageTimings is the wall-clock breakdown of one pipeline run. The
+// pipeline is streaming — enumeration, evaluation and ranking overlap —
+// so Pipeline covers the whole concurrent drain rather than pretending
+// the stages were sequential.
+type StageTimings struct {
+	// Setup covers input validation and evaluator construction
+	// (per-schema state: share vectors, skew tables).
+	Setup time.Duration
+	// Pipeline covers the streaming enumerate → prune → evaluate →
+	// collect drain across all workers.
+	Pipeline time.Duration
+	// Rank covers final result assembly and the twofold ranking.
+	Rank time.Duration
+	// Total is the full AdviseContext call.
+	Total time.Duration
 }
 
 // PruneStats summarizes the branch-and-bound pruning stage of one

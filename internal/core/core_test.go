@@ -220,3 +220,17 @@ func TestRankedNamesReadable(t *testing.T) {
 		t.Fatalf("candidate name %q not in Dim.level form", name)
 	}
 }
+
+func TestAdviseRecordsStageTimings(t *testing.T) {
+	res, err := Advise(smallInput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := res.Timings
+	if ti.Setup <= 0 || ti.Pipeline <= 0 || ti.Rank <= 0 || ti.Total <= 0 {
+		t.Fatalf("stage timings not populated: %+v", ti)
+	}
+	if sum := ti.Setup + ti.Pipeline + ti.Rank; ti.Total < sum {
+		t.Fatalf("total %v < stage sum %v: %+v", ti.Total, sum, ti)
+	}
+}

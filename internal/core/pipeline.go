@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/fragment"
@@ -98,6 +99,7 @@ func (in *Input) candidateSource(th fragment.Thresholds) (iter.Seq2[*fragment.Fr
 // — and ctx.Err() is returned. Results are identical for every
 // Parallelism value.
 func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
+	start := time.Now()
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,6 +112,7 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Timings.Setup = time.Since(start)
 	source, maxCands := in.candidateSource(th)
 	workers := in.parallelism(maxCands)
 
@@ -237,6 +240,12 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	res.Timings.Pipeline = time.Since(start) - res.Timings.Setup
+	rankStart := time.Now()
+	defer func() {
+		res.Timings.Rank = time.Since(rankStart)
+		res.Timings.Total = time.Since(start)
+	}()
 	sort.Slice(done, func(i, j int) bool { return done[i].idx < done[j].idx })
 
 	res.PruneStats = PruneStats{

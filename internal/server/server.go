@@ -10,7 +10,9 @@
 //   - POST /v1/sweep takes a config.SweepDoc (-sweep mode) and returns
 //     the machine-readable sweep report.
 //   - GET /healthz is a liveness probe; GET /metrics exposes plain-text
-//     counters (hits, misses, coalesced, in-flight, evaluations).
+//     counters (hits, misses, coalesced, in-flight, evaluations,
+//     timeouts, shed, client-gone) and per-endpoint stage latency
+//     histograms (parse/queue/evaluate/serialize/total).
 //
 // Three layers remove repeated work:
 //
@@ -24,6 +26,15 @@
 //     distinct-but-same-schema requests share interned *schema.Star
 //     values and therefore attribute share vectors and candidate
 //     geometries, which the evaluation cache keys by schema pointer.
+//
+// Every evaluation is request-scoped: the pipeline runs under a context
+// derived from the server's lifetime but cancelled as soon as no client
+// is waiting for the result. A lone client that disconnects or exceeds
+// the configured RequestTimeout aborts its own evaluation; a coalesced
+// flight keeps running until its last waiter departs, and its result
+// stays cached for the survivors. Under overload the evaluation queue is
+// bounded (MaxQueue) and waits are bounded (QueueTimeout): excess load
+// is shed with 503 + Retry-After before it touches the semaphore.
 //
 // Every cached or coalesced response is byte-for-byte identical to the
 // cold response for any document with the same fingerprint: requests are
@@ -39,9 +50,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -66,6 +80,20 @@ const (
 // with and without it).
 const maxCachedEntries = 4096
 
+// retryAfterSeconds is the hint sent with load-shedding 503 responses.
+const retryAfterSeconds = "1"
+
+// Overload sentinels, mapped to 503 + Retry-After by the handlers.
+var (
+	// errShed reports a request rejected because the evaluation queue
+	// was already at MaxQueue depth; the request never touched the
+	// evaluation semaphore.
+	errShed = errors.New("server: overloaded, evaluation queue full")
+	// errQueueTimeout reports a request that waited QueueTimeout for an
+	// evaluation slot without getting one.
+	errQueueTimeout = errors.New("server: gave up waiting for an evaluation slot")
+)
+
 // Config tunes the advisory service.
 type Config struct {
 	// CacheSize is the per-endpoint response cache capacity in entries
@@ -79,8 +107,26 @@ type Config struct {
 	// (<= 0 uses GOMAXPROCS). Excess evaluations queue.
 	MaxConcurrent int
 	// MaxBodyBytes limits request body size (<= 0 uses
-	// DefaultMaxBodyBytes).
+	// DefaultMaxBodyBytes). Oversized bodies get 413.
 	MaxBodyBytes int64
+	// RequestTimeout bounds one request end to end, evaluation included:
+	// a request that exceeds it gets 504 and its pipeline evaluation is
+	// cancelled (unless coalesced waiters still need it). <= 0 disables
+	// the timeout; the client's own disconnect still cancels.
+	RequestTimeout time.Duration
+	// QueueTimeout bounds the wait for an evaluation slot; a request
+	// queued longer is answered 503 + Retry-After without evaluating.
+	// <= 0 waits as long as the request context allows.
+	QueueTimeout time.Duration
+	// MaxQueue bounds how many evaluations may wait for a slot; beyond
+	// it requests are shed immediately with 503 + Retry-After. <= 0
+	// queues without bound.
+	MaxQueue int
+	// SlowRequestThreshold logs any request slower than this with its
+	// fingerprint and stage breakdown. <= 0 disables slow logging.
+	SlowRequestThreshold time.Duration
+	// Logger receives slow-request lines (nil uses log.Default()).
+	Logger *log.Logger
 }
 
 // Metrics is a snapshot of the service counters (also rendered by
@@ -99,9 +145,21 @@ type Metrics struct {
 	// Evaluations counts pipeline runs actually performed; with
 	// coalescing and caching this can be far below Requests.
 	Evaluations int64
+	// Timeouts counts requests that hit RequestTimeout (504) or
+	// QueueTimeout (503) before an advisory could be delivered.
+	Timeouts int64
+	// Shed counts requests rejected by the MaxQueue bound (503 +
+	// Retry-After) without touching the evaluation semaphore.
+	Shed int64
+	// ClientGone counts requests whose client disconnected before the
+	// advisory completed (408).
+	ClientGone int64
 	// InFlight is the number of evaluations currently running or queued
 	// on the concurrency limiter.
 	InFlight int64
+	// QueueDepth is the number of evaluations currently waiting for a
+	// semaphore slot (always <= MaxQueue when that bound is set).
+	QueueDepth int64
 	// PruneEvaluated / PruneSkipped aggregate the pipeline's
 	// branch-and-bound work split over every advisory run by this server
 	// (advise candidates plus sweep representatives). Diagnostic only.
@@ -135,6 +193,16 @@ type Server struct {
 	sem     chan struct{}
 	maxBody int64
 
+	reqTimeout    time.Duration
+	queueTimeout  time.Duration
+	maxQueue      int
+	slowThreshold time.Duration
+	logger        *log.Logger
+	queued        atomic.Int64
+
+	adviseStats endpointStats
+	sweepStats  endpointStats
+
 	mu          sync.Mutex
 	adviseCache *lruCache[string, []byte]
 	sweepCache  *lruCache[string, []byte]
@@ -142,6 +210,12 @@ type Server struct {
 
 	adviseFlight flightGroup[[]byte]
 	sweepFlight  flightGroup[[]byte]
+
+	// evalHook, when set (tests only), runs on the flight leader between
+	// semaphore acquisition and the pipeline, under the evaluation
+	// context — the seam that lets tests hold an evaluation open and
+	// observe cancellation deterministically.
+	evalHook func(context.Context)
 
 	cmu sync.Mutex // counters; coarse is fine at advisory request rates
 	c   Metrics
@@ -167,14 +241,21 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		mux:         http.NewServeMux(),
-		baseCtx:     ctx,
-		cancel:      cancel,
-		sem:         make(chan struct{}, maxConc),
-		maxBody:     maxBody,
-		adviseCache: newLRU[string, []byte](cacheSize),
-		sweepCache:  newLRU[string, []byte](cacheSize),
-		schemas:     newLRU[string, *schemaEntry](schemaSize),
+		mux:           http.NewServeMux(),
+		baseCtx:       ctx,
+		cancel:        cancel,
+		sem:           make(chan struct{}, maxConc),
+		maxBody:       maxBody,
+		reqTimeout:    cfg.RequestTimeout,
+		queueTimeout:  cfg.QueueTimeout,
+		maxQueue:      cfg.MaxQueue,
+		slowThreshold: cfg.SlowRequestThreshold,
+		logger:        cfg.Logger,
+		adviseStats:   endpointStats{name: "advise"},
+		sweepStats:    endpointStats{name: "sweep"},
+		adviseCache:   newLRU[string, []byte](cacheSize),
+		sweepCache:    newLRU[string, []byte](cacheSize),
+		schemas:       newLRU[string, *schemaEntry](schemaSize),
 	}
 	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
@@ -200,6 +281,7 @@ func (s *Server) Metrics() Metrics {
 	s.cmu.Lock()
 	m := s.c
 	s.cmu.Unlock()
+	m.QueueDepth = s.queued.Load()
 	s.mu.Lock()
 	m.AdviseEntries = s.adviseCache.Len()
 	m.SweepEntries = s.sweepCache.Len()
@@ -214,37 +296,109 @@ func (s *Server) count(f func(*Metrics)) {
 	s.cmu.Unlock()
 }
 
+// evalFunc is one parsed request's evaluation path, run by at most one
+// flight leader; st receives the leader's stage durations.
+type evalFunc func(ctx context.Context, st *stageTimes) ([]byte, error)
+
+// parseFunc decodes one endpoint's request body into its fingerprint
+// and evaluation closure.
+type parseFunc func(body io.Reader) (fp string, eval evalFunc, err error)
+
 // handleAdvise serves POST /v1/advise: one full advisory for one
 // configuration document.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.serveAdvisory(w, r, &s.adviseStats, s.adviseCache, &s.adviseFlight,
+		func(body io.Reader) (string, evalFunc, error) {
+			doc, err := config.Parse(body)
+			if err != nil {
+				return "", nil, err
+			}
+			fp := doc.Fingerprint()
+			return fp, func(ctx context.Context, st *stageTimes) ([]byte, error) {
+				return s.evalAdvise(ctx, doc, fp, st)
+			}, nil
+		})
+}
+
+// handleSweep serves POST /v1/sweep: a what-if scenario grid evaluated
+// through the shared, memoizing sweep pipeline.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.serveAdvisory(w, r, &s.sweepStats, s.sweepCache, &s.sweepFlight,
+		func(body io.Reader) (string, evalFunc, error) {
+			doc, err := config.ParseSweep(body)
+			if err != nil {
+				return "", nil, err
+			}
+			fp := doc.Fingerprint()
+			return fp, func(ctx context.Context, st *stageTimes) ([]byte, error) {
+				return s.evalSweep(ctx, doc, fp, st)
+			}, nil
+		})
+}
+
+// serveAdvisory is the request-scoped shape both advisory endpoints
+// share: derive the request context (client context + RequestTimeout),
+// parse, consult the response cache, and run or join a singleflight
+// whose evaluation context lives exactly as long as someone is waiting.
+func (s *Server) serveAdvisory(w http.ResponseWriter, r *http.Request,
+	ep *endpointStats, cache *lruCache[string, []byte], fl *flightGroup[[]byte], parse parseFunc) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	s.count(func(m *Metrics) { m.Requests++ })
-	doc, err := config.Parse(http.MaxBytesReader(w, r.Body, s.maxBody))
+	start := time.Now()
+	reqCtx := r.Context()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, s.reqTimeout)
+		defer cancel()
+	}
+	st := &stageTimes{}
+	fp := ""
+	status := http.StatusOK
+	state := "none"
+	defer func() {
+		total := time.Since(start)
+		ep.total.observe(total)
+		s.logSlow(ep.name, fp, status, state, total, st)
+	}()
+
+	pt := time.Now()
+	fpParsed, eval, err := parse(http.MaxBytesReader(w, r.Body, s.maxBody))
+	st.parse = time.Since(pt)
+	ep.parse.observe(st.parse)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		status = s.writeParseError(w, err)
 		return
 	}
-	fp := doc.Fingerprint()
-	if b, ok := s.cacheGet(s.adviseCache, fp); ok {
+	fp = fpParsed
+
+	if b, ok := s.cacheGet(cache, fp); ok {
 		s.count(func(m *Metrics) { m.CacheHits++ })
-		writeJSON(w, b, "hit")
+		state = "hit"
+		writeJSON(w, b, state)
 		return
 	}
-	b, err, joined := s.adviseFlight.Do(r.Context(), fp, func() ([]byte, error) {
-		return s.evalAdvise(doc, fp)
-	})
+
+	run := func(ctx context.Context) ([]byte, error) { return eval(ctx, st) }
+	b, err, joined := fl.Do(reqCtx, s.baseCtx, fp, run)
 	if joined {
 		s.count(func(m *Metrics) { m.Coalesced++ })
 	}
+	if isCtxErr(err) && reqCtx.Err() == nil && s.baseCtx.Err() == nil {
+		// The flight this caller joined was cancelled because all of its
+		// own waiters departed — not this caller's fault, and the server
+		// is healthy, so run a fresh flight (cheap if the dead flight
+		// already cached its result).
+		b, err, _ = fl.Do(reqCtx, s.baseCtx, fp, run)
+	}
 	if err != nil {
-		s.writeAdvisoryError(w, err)
+		status = s.writeAdvisoryError(w, reqCtx, err)
 		return
 	}
-	state := "miss"
+	state = "miss"
 	if joined {
 		state = "coalesced"
 	}
@@ -256,7 +410,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 // opened just as a previous identical flight finished replays the fresh
 // entry instead of evaluating again — a request can never trigger a
 // second evaluation of an already-cached advisory.
-func (s *Server) evalAdvise(doc *config.Document, fp string) ([]byte, error) {
+func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string, st *stageTimes) ([]byte, error) {
 	if b, ok := s.cacheGet(s.adviseCache, fp); ok {
 		s.count(func(m *Metrics) { m.CacheHits++ })
 		return b, nil
@@ -275,12 +429,21 @@ func (s *Server) evalAdvise(doc *config.Document, fp string) ([]byte, error) {
 	// field-identical, and mix predicates reference it by index.
 	in.Schema = star
 	in.EvalCache = evalCache
-	if err := s.acquire(); err != nil {
+	qt := time.Now()
+	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
+	st.queue = time.Since(qt)
+	s.adviseStats.queue.observe(st.queue)
 	defer s.release()
 	s.count(func(m *Metrics) { m.Evaluations++ })
-	res, err := core.AdviseContext(s.baseCtx, in)
+	if s.evalHook != nil {
+		s.evalHook(ctx)
+	}
+	et := time.Now()
+	res, err := core.AdviseContext(ctx, in)
+	st.evaluate = time.Since(et)
+	s.adviseStats.evaluate.observe(st.evaluate)
 	if err != nil {
 		return nil, err
 	}
@@ -288,53 +451,19 @@ func (s *Server) evalAdvise(doc *config.Document, fp string) ([]byte, error) {
 		m.PruneEvaluated += int64(res.PruneStats.Evaluated)
 		m.PruneSkipped += int64(res.PruneStats.Skipped)
 	})
+	mt := time.Now()
 	b, err := json.MarshalIndent(buildAdviseResponse(fp, in, res), "", "  ")
 	if err != nil {
 		return nil, err
 	}
-	b = append(b, '\n')
+	b = ensureTrailingNewline(b)
+	st.serialize = time.Since(mt)
+	s.adviseStats.serialize.observe(st.serialize)
 	s.cacheAdd(s.adviseCache, fp, b)
 	return b, nil
 }
 
-// handleSweep serves POST /v1/sweep: a what-if scenario grid evaluated
-// through the shared, memoizing sweep pipeline.
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-		return
-	}
-	s.count(func(m *Metrics) { m.Requests++ })
-	doc, err := config.ParseSweep(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	fp := doc.Fingerprint()
-	if b, ok := s.cacheGet(s.sweepCache, fp); ok {
-		s.count(func(m *Metrics) { m.CacheHits++ })
-		writeJSON(w, b, "hit")
-		return
-	}
-	b, err, joined := s.sweepFlight.Do(r.Context(), fp, func() ([]byte, error) {
-		return s.evalSweep(doc, fp)
-	})
-	if joined {
-		s.count(func(m *Metrics) { m.Coalesced++ })
-	}
-	if err != nil {
-		s.writeAdvisoryError(w, err)
-		return
-	}
-	state := "miss"
-	if joined {
-		state = "coalesced"
-	}
-	writeJSON(w, b, state)
-}
-
-func (s *Server) evalSweep(doc *config.SweepDoc, fp string) ([]byte, error) {
+func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string, st *stageTimes) ([]byte, error) {
 	if b, ok := s.cacheGet(s.sweepCache, fp); ok {
 		s.count(func(m *Metrics) { m.CacheHits++ })
 		return b, nil
@@ -348,12 +477,21 @@ func (s *Server) evalSweep(doc *config.SweepDoc, fp string) ([]byte, error) {
 	star, evalCache := s.internSchema(doc.Base.SchemaFingerprint(), base.Schema)
 	base.Schema = star
 	base.EvalCache = evalCache
-	if err := s.acquire(); err != nil {
+	qt := time.Now()
+	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
+	st.queue = time.Since(qt)
+	s.sweepStats.queue.observe(st.queue)
 	defer s.release()
 	s.count(func(m *Metrics) { m.Evaluations++ })
-	rep, err := sweep.Run(s.baseCtx, base, grid, sweep.Options{ResponseTarget: target})
+	if s.evalHook != nil {
+		s.evalHook(ctx)
+	}
+	et := time.Now()
+	rep, err := sweep.Run(ctx, base, grid, sweep.Options{ResponseTarget: target})
+	st.evaluate = time.Since(et)
+	s.sweepStats.evaluate.observe(st.evaluate)
 	if err != nil {
 		return nil, err
 	}
@@ -361,21 +499,41 @@ func (s *Server) evalSweep(doc *config.SweepDoc, fp string) ([]byte, error) {
 		m.PruneEvaluated += int64(rep.PruneEvaluated)
 		m.PruneSkipped += int64(rep.PruneSkipped)
 	})
+	mt := time.Now()
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		return nil, err
 	}
-	b := buf.Bytes()
+	b := ensureTrailingNewline(buf.Bytes())
+	st.serialize = time.Since(mt)
+	s.sweepStats.serialize.observe(st.serialize)
 	s.cacheAdd(s.sweepCache, fp, b)
 	return b, nil
 }
 
+// allowGetHead gates the read-only probe endpoints to GET/HEAD, matching
+// the POST gating on the advisory routes.
+func (s *Server) allowGetHead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET or HEAD required"))
+	return false
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.allowGetHead(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.allowGetHead(w, r) {
+		return
+	}
 	m := s.Metrics()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "warlockd_requests_total %d\n", m.Requests)
@@ -383,14 +541,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "warlockd_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "warlockd_coalesced_total %d\n", m.Coalesced)
 	fmt.Fprintf(w, "warlockd_evaluations_total %d\n", m.Evaluations)
+	fmt.Fprintf(w, "warlockd_timeouts_total %d\n", m.Timeouts)
+	fmt.Fprintf(w, "warlockd_shed_total %d\n", m.Shed)
+	fmt.Fprintf(w, "warlockd_client_gone_total %d\n", m.ClientGone)
 	fmt.Fprintf(w, "warlockd_prune_evaluated_total %d\n", m.PruneEvaluated)
 	fmt.Fprintf(w, "warlockd_prune_skipped_total %d\n", m.PruneSkipped)
 	fmt.Fprintf(w, "warlockd_in_flight %d\n", m.InFlight)
+	fmt.Fprintf(w, "warlockd_queue_depth %d\n", m.QueueDepth)
 	fmt.Fprintf(w, "warlockd_schema_cache_hits_total %d\n", m.SchemaHits)
 	fmt.Fprintf(w, "warlockd_schema_cache_misses_total %d\n", m.SchemaMisses)
 	fmt.Fprintf(w, "warlockd_advise_cache_entries %d\n", m.AdviseEntries)
 	fmt.Fprintf(w, "warlockd_sweep_cache_entries %d\n", m.SweepEntries)
 	fmt.Fprintf(w, "warlockd_schema_cache_entries %d\n", m.SchemaEntries)
+	s.adviseStats.write(w, "warlockd_request_stage_seconds")
+	s.sweepStats.write(w, "warlockd_request_stage_seconds")
+}
+
+// logSlow emits one line for a request slower than the configured
+// threshold, with the request fingerprint and the stage breakdown.
+func (s *Server) logSlow(endpoint, fp string, status int, state string, total time.Duration, st *stageTimes) {
+	if s.slowThreshold <= 0 || total < s.slowThreshold {
+		return
+	}
+	if fp == "" {
+		fp = "-"
+	}
+	lg := s.logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	lg.Printf("warlockd: slow request endpoint=%s fingerprint=%s status=%d cache=%s total=%s parse=%s queue=%s evaluate=%s serialize=%s",
+		endpoint, fp, status, state, total, st.parse, st.queue, st.evaluate, st.serialize)
 }
 
 // internSchema returns the canonical star and shared evaluation cache
@@ -413,15 +594,49 @@ func (s *Server) internSchema(key string, star *schema.Star) (*schema.Star, *cos
 	return e.star, e.cache
 }
 
-// acquire takes an evaluation slot, giving up when the server closes.
-func (s *Server) acquire() error {
+// acquire takes an evaluation slot on behalf of ctx (the evaluation
+// context: alive while any waiter wants the result, dead when the last
+// one leaves or the server closes). The queue in front of the semaphore
+// is bounded two ways: MaxQueue sheds excess depth immediately —
+// without ever touching the semaphore — and QueueTimeout bounds how
+// long one evaluation may wait for a slot.
+func (s *Server) acquire(ctx context.Context) error {
 	s.count(func(m *Metrics) { m.InFlight++ })
+	ok := false
+	defer func() {
+		if !ok {
+			s.count(func(m *Metrics) { m.InFlight-- })
+		}
+	}()
+	// Fast path: a free slot means no queueing, so neither bound applies.
 	select {
 	case s.sem <- struct{}{}:
+		ok = true
+		return nil
+	default:
+	}
+	depth := s.queued.Add(1)
+	defer s.queued.Add(-1)
+	if s.maxQueue > 0 && depth > int64(s.maxQueue) {
+		return errShed
+	}
+	wait := ctx
+	if s.queueTimeout > 0 {
+		var cancel context.CancelFunc
+		wait, cancel = context.WithTimeout(ctx, s.queueTimeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		ok = true
 		return nil
 	case <-s.baseCtx.Done():
-		s.count(func(m *Metrics) { m.InFlight-- })
 		return s.baseCtx.Err()
+	case <-wait.Done():
+		if ctx.Err() == nil {
+			return errQueueTimeout // the queue timer fired, not the request
+		}
+		return ctx.Err()
 	}
 }
 
@@ -442,33 +657,89 @@ func (s *Server) cacheAdd(c *lruCache[string, []byte], key string, b []byte) {
 	c.Add(key, b)
 }
 
-// writeAdvisoryError maps pipeline errors to HTTP statuses: invalid
-// documents are the client's fault (400), an advisory with no feasible
-// candidate is a semantic failure (422), and cancellation means the
-// server is shutting down (503).
-func (s *Server) writeAdvisoryError(w http.ResponseWriter, err error) {
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeParseError maps request decoding failures: an oversized body is
+// 413 (the *http.MaxBytesError survives config's error wrapping), any
+// other parse failure is the client's 400.
+func (s *Server) writeParseError(w http.ResponseWriter, err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the configured limit of %d bytes", mbe.Limit))
+	}
+	return s.writeError(w, http.StatusBadRequest, err)
+}
+
+// writeAdvisoryError maps evaluation-path errors to HTTP statuses and
+// counts the operational ones: invalid documents are the client's fault
+// (400/413), an advisory with no feasible candidate is a semantic
+// failure (422), overload is shed with 503 + Retry-After, and a
+// cancelled evaluation is disambiguated by who cancelled it — the
+// request deadline (504), the departed client (408), or server shutdown
+// (503).
+func (s *Server) writeAdvisoryError(w http.ResponseWriter, reqCtx context.Context, err error) int {
 	switch {
+	case errors.Is(err, errShed):
+		s.count(func(m *Metrics) { m.Shed++ })
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		return s.writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errQueueTimeout):
+		s.count(func(m *Metrics) { m.Timeouts++ })
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		return s.writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, config.ErrBadConfig):
-		s.writeError(w, http.StatusBadRequest, err)
+		return s.writeParseError(w, err)
 	case errors.Is(err, core.ErrNoFeasible):
-		s.writeError(w, http.StatusUnprocessableEntity, err)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("advisory cancelled (server shutting down or client gone)"))
+		return s.writeError(w, http.StatusUnprocessableEntity, err)
+	case isCtxErr(err):
+		switch {
+		case s.baseCtx.Err() != nil:
+			return s.writeError(w, http.StatusServiceUnavailable,
+				errors.New("advisory cancelled: server shutting down"))
+		case errors.Is(reqCtx.Err(), context.DeadlineExceeded):
+			s.count(func(m *Metrics) { m.Timeouts++ })
+			return s.writeError(w, http.StatusGatewayTimeout,
+				errors.New("advisory timed out before completing (request timeout exceeded)"))
+		case errors.Is(reqCtx.Err(), context.Canceled):
+			s.count(func(m *Metrics) { m.ClientGone++ })
+			return s.writeError(w, http.StatusRequestTimeout,
+				errors.New("client went away before the advisory completed"))
+		default:
+			// A joined flight died under this caller twice (its other
+			// waiters left mid-retry); rare, transient, retryable.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			return s.writeError(w, http.StatusServiceUnavailable,
+				errors.New("advisory evaluation cancelled, retry"))
+		}
 	default:
-		s.writeError(w, http.StatusInternalServerError, err)
+		return s.writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	return code
 }
 
 func writeJSON(w http.ResponseWriter, b []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Warlock-Cache", cacheState)
 	w.Write(b)
+}
+
+// ensureTrailingNewline makes every advisory body newline-terminated,
+// whatever the serializer did, so both endpoints byte-match their CLI
+// counterparts (json.Encoder already terminates, json.Marshal does not).
+func ensureTrailingNewline(b []byte) []byte {
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		return append(b, '\n')
+	}
+	return b
 }
 
 // AdviseResponse is the JSON body of a successful /v1/advise call.

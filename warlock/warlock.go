@@ -68,6 +68,18 @@
 //	defer srv.Close()
 //	http.ListenAndServe(":8080", srv)
 //
+// Every request is fully request-scoped: a client that disconnects or
+// exceeds ServerConfig.RequestTimeout cancels its own pipeline
+// evaluation (504 on timeout, 408 on departure) — unless other
+// coalesced requests still wait on the shared flight, in which case the
+// evaluation survives until the last waiter is gone. Under overload the
+// service degrades predictably instead of queueing without bound:
+// MaxQueue caps the number of evaluations waiting for a slot (excess
+// requests are shed with 503 + Retry-After) and QueueTimeout bounds the
+// wait itself. ServerMetrics counts timeouts, shed requests and
+// departed clients, and /metrics additionally exposes per-endpoint
+// stage latency histograms (parse, queue, evaluate, serialize, total).
+//
 // The package re-exports the stable subset of the internal building
 // blocks; advanced users may also assemble the pipeline from the pieces
 // (fragmentation enumeration, cost model, allocation, simulation).
@@ -225,11 +237,14 @@ type (
 	// sharing, plus /healthz and /metrics. The warlockd binary is a
 	// thin wrapper around it.
 	Server = server.Server
-	// ServerConfig tunes the advisory service (cache sizes, evaluation
-	// concurrency, request body limit).
+	// ServerConfig tunes the advisory service: cache sizes, evaluation
+	// concurrency, request body limit, the per-request deadline
+	// (RequestTimeout), overload bounds (MaxQueue, QueueTimeout) and
+	// slow-request logging (SlowRequestThreshold, Logger).
 	ServerConfig = server.Config
 	// ServerMetrics is a snapshot of the service counters (requests,
-	// cache hits/misses, coalesced requests, evaluations, in-flight).
+	// cache hits/misses, coalesced requests, evaluations, in-flight,
+	// timeouts, shed requests, departed clients, queue depth).
 	ServerMetrics = server.Metrics
 	// AdviseResponse is the JSON body of a successful /v1/advise call.
 	AdviseResponse = server.AdviseResponse
