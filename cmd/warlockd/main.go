@@ -10,8 +10,18 @@
 //
 //	POST /v1/advise   config JSON (warlock -emit-example) → ranked advisory
 //	POST /v1/sweep    sweep JSON (warlock -emit-sweep-example) → sweep report
+//	POST /v1/jobs     same documents, evaluated asynchronously (202 + job id)
+//	GET  /v1/jobs/{id}         job status and live sweep progress
+//	GET  /v1/jobs/{id}/result  finished body, byte-identical to the sync endpoint
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET  /healthz     liveness probe
 //	GET  /metrics     plain-text counters (hits, misses, coalesced, in-flight)
+//
+// Jobs let a sweep outlive -request-timeout: submit it once, poll its
+// progress, and fetch the result when done. With -jobs-dir set, job
+// submissions and per-scenario checkpoints persist to disk, and a
+// restarted daemon resumes interrupted sweeps from their last completed
+// scenario instead of recomputing them.
 //
 // Every request is fully request-scoped: a client that disconnects (or
 // exceeds -request-timeout) cancels its own pipeline evaluation unless
@@ -73,6 +83,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		slowLog        = fs.Duration("slow-log", 0, "log requests slower than this with fingerprint and stage breakdown (0 = off)")
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window before in-flight pipelines are cancelled")
 		pprofOn        = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		jobsDir        = fs.String("jobs-dir", "", "directory persisting async job submissions and per-scenario checkpoints; a restarted daemon resumes interrupted jobs from it (empty = in-memory only)")
+		jobTTL         = fs.Duration("job-ttl", 0, "how long finished async jobs stay queryable before eviction (0 = 15m default)")
+		maxJobs        = fs.Int("max-jobs", 0, "max stored async jobs; beyond it the oldest finished job is evicted, and submissions are rejected when every slot holds an unfinished job (0 = 64 default)")
+		maxRunningJobs = fs.Int("max-running-jobs", 0, "max concurrently running async jobs; keep it below -max-concurrent so synchronous requests always find an evaluation slot (0 = one below -max-concurrent)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +100,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		MaxQueue:             *maxQueue,
 		SlowRequestThreshold: *slowLog,
 		Logger:               log.New(os.Stderr, "", log.LstdFlags),
+		JobsDir:              *jobsDir,
+		JobTTL:               *jobTTL,
+		MaxJobs:              *maxJobs,
+		MaxRunningJobs:       *maxRunningJobs,
 	})
 	defer srv.Close()
 

@@ -16,8 +16,18 @@
 // requests, and evaluation state shared per schema identity; embed it via
 // warlock.NewServer. Requests are request-scoped — a departed or timed-out
 // client cancels its own evaluation unless coalesced waiters remain — and
-// the service sheds load beyond a bounded queue (503 + Retry-After), with
-// stage latency histograms and timeout/shed counters on /metrics.
+// the service sheds load beyond a bounded queue (503 + Retry-After scaled
+// to queue fill), with stage latency histograms and timeout/shed counters
+// on /metrics.
+// internal/jobs runs the same documents asynchronously: POST /v1/jobs
+// returns a job id (the canonical fingerprint, so identical submissions
+// coalesce), GET /v1/jobs/{id} reports live per-scenario progress, and the
+// finished result is byte-identical to the synchronous endpoint's body;
+// with -jobs-dir the daemon checkpoints completed scenarios and resumes
+// interrupted sweeps across restarts. Errors carry a structured envelope
+// {"error":{"code","message","retry_after_seconds"}} when the client sends
+// Accept: application/json; the code taxonomy is documented in the
+// repro/warlock package docs under "Error codes".
 // The pipeline prunes with branch and bound: an admissible lower bound on
 // each candidate's cost pair (costmodel.LowerBound — per-class service-time
 // floors, no geometry, no allocation) is checked against the ranking

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 		Disk:   warlock.DefaultDisk(64),
 		Rank:   warlock.RankOptions{LeadingPercent: 10, TopN: 10},
 	}
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 
 	// Prediction layer: enumerate MDHF candidates, exclude by thresholds,
 	// evaluate with the I/O cost model, rank with the twofold heuristic.
-	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: disk})
+	res, err := warlock.New().Advise(context.Background(), &warlock.Input{Schema: schema, Mix: mix, Disk: disk})
 	if err != nil {
 		log.Fatal(err)
 	}

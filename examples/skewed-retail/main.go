@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	}}
 
 	in := &warlock.Input{Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(24)}
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +33,7 @@ func main() {
 		},
 	}
 	target := 500 * time.Millisecond
-	rep, err := warlock.Sweep(base, grid, warlock.SweepOptions{ResponseTarget: target})
+	rep, err := warlock.New(warlock.WithResponseTarget(target)).Sweep(context.Background(), base, grid)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -12,6 +13,11 @@ import (
 	"repro/warlock"
 )
 
+// adv shares one evaluation cache across every what-if advisory below:
+// the schema never changes, so attribute share vectors and candidate
+// geometries are computed once (results are identical either way).
+var adv = warlock.New(warlock.WithEvalCache(warlock.NewEvalCache()))
+
 func main() {
 	schema := warlock.APB1Schema(4_000_000)
 	mix, err := warlock.APB1Mix(schema)
@@ -19,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	base := &warlock.Input{Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(32)}
-	baseRes, err := warlock.Advise(base)
+	baseRes, err := adv.Advise(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +77,7 @@ func main() {
 }
 
 func mustAdvise(in *warlock.Input) *warlock.Result {
-	res, err := warlock.Advise(in)
+	res, err := adv.Advise(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

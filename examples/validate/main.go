@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 	in := &warlock.Input{Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(16)}
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

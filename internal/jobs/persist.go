@@ -1,0 +1,209 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// On-disk layout under Config.Dir, one pair of files per unfinished job:
+//
+//	<id>.job   JSON {"kind": ..., "spec": <submitted document>}
+//	<id>.ckpt  JSONL, one {"k": <rep index>, "v": <checkpoint>} per
+//	           completed representative scenario, appended and fsynced
+//	           as the sweep progresses
+//
+// Both files are removed when the job reaches a terminal state in a
+// live process; whatever remains on disk at startup is, by definition,
+// the set of jobs a crash or shutdown interrupted — LoadPending returns
+// them for re-submission, checkpoints included.
+
+const (
+	specExt = ".job"
+	ckptExt = ".ckpt"
+)
+
+// specFile is the persisted submission document.
+type specFile struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// ckptLine is one persisted checkpoint entry.
+type ckptLine struct {
+	K int             `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// persistSpec writes the job's submission document atomically (tmp +
+// rename). A no-op without a persistence directory.
+func (m *Manager) persistSpec(j *Job) error {
+	if m.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(specFile{Kind: j.kind, Spec: json.RawMessage(j.spec)})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(m.cfg.Dir, j.id+specExt)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// removeFiles drops a finished job's persisted state. A no-op without a
+// persistence directory.
+func (m *Manager) removeFiles(id string) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	os.Remove(filepath.Join(m.cfg.Dir, id+specExt))
+	os.Remove(filepath.Join(m.cfg.Dir, id+ckptExt))
+}
+
+// checkpointFile appends fsynced JSONL checkpoint lines. Opening lazily
+// at job start (not submission) keeps the file's existence aligned with
+// "work actually began"; appends accumulate across process restarts.
+type checkpointFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens (or creates) the job's checkpoint file for
+// appending. Returns nil on error: checkpointing degrades to "recompute
+// after restart", it never blocks the job.
+func openCheckpoint(dir, id string) *checkpointFile {
+	f, err := os.OpenFile(filepath.Join(dir, id+ckptExt),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil
+	}
+	return &checkpointFile{f: f}
+}
+
+// append durably writes one checkpoint line. Each line is fsynced: a
+// checkpoint the caller believes recorded must survive a crash, and one
+// fsync per completed sweep scenario is noise next to the scenario's
+// evaluation cost.
+func (c *checkpointFile) append(key int, v any) {
+	if c == nil {
+		return
+	}
+	vb, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b, err := json.Marshal(ckptLine{K: key, V: vb})
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return
+	}
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
+		return
+	}
+	c.f.Sync()
+}
+
+func (c *checkpointFile) close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+}
+
+// Pending is one interrupted job recovered from disk.
+type Pending struct {
+	// ID is the job id (the persisted file's base name — the request
+	// fingerprint).
+	ID string
+	// Kind and Spec reproduce the original submission.
+	Kind string
+	Spec []byte
+	// Resume holds the persisted checkpoints, keyed by representative
+	// scenario index; pass it through Request.Resume.
+	Resume map[int]json.RawMessage
+}
+
+// LoadPending scans a persistence directory for interrupted jobs. A
+// missing directory is an empty result, not an error. Unreadable or
+// corrupt spec files are skipped (reported in errs) rather than blocking
+// startup; a truncated trailing checkpoint line — the crash case — is
+// ignored, surrendering at most one scenario.
+func LoadPending(dir string) (pending []Pending, errs []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, []error{err}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, specExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, specExt)
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("jobs: read %s: %w", name, err))
+			continue
+		}
+		var sf specFile
+		if err := json.Unmarshal(b, &sf); err != nil || sf.Kind == "" || len(sf.Spec) == 0 {
+			errs = append(errs, fmt.Errorf("jobs: corrupt spec %s: %v", name, err))
+			continue
+		}
+		p := Pending{ID: id, Kind: sf.Kind, Spec: sf.Spec}
+		p.Resume = loadCheckpoints(filepath.Join(dir, id+ckptExt))
+		pending = append(pending, p)
+	}
+	return pending, errs
+}
+
+// loadCheckpoints reads a JSONL checkpoint file; any undecodable line
+// ends the scan (an interrupted final write), keeping every line before
+// it. Later duplicates of a key win — they are rewrites of the same
+// completed scenario.
+func loadCheckpoints(path string) map[int]json.RawMessage {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out map[int]json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var cl ckptLine
+		if err := json.Unmarshal([]byte(line), &cl); err != nil {
+			break
+		}
+		if out == nil {
+			out = make(map[int]json.RawMessage)
+		}
+		out[cl.K] = cl.V
+	}
+	return out
+}

@@ -1,0 +1,694 @@
+package server
+
+// Tests for the asynchronous job API and the structured error layer:
+// lifecycle (submit → progress → result == synchronous bytes), coalescing,
+// cancellation mid-run, restart recovery from persisted checkpoints,
+// Retry-After computation, and Accept-negotiated error envelopes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/sweep"
+)
+
+// tinySweepDoc wraps tinyDoc in a small 4-scenario grid.
+func tinySweepDoc(rows int64) *config.SweepDoc {
+	return &config.SweepDoc{
+		Base: *tinyDoc(rows),
+		Grid: config.GridDoc{
+			Disks: []int{2, 4},
+			MixScales: []config.MixScaleDoc{
+				{Name: "base"},
+				{Name: "boost-Q2", Factors: map[string]float64{"Q2": 4}},
+			},
+		},
+		ResponseTargetMs: 500,
+	}
+}
+
+func encodeSweepDoc(t *testing.T, d *config.SweepDoc) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// jobRequest issues one request against the job API and decodes the JSON
+// body into out (when non-nil).
+func jobRequest(t *testing.T, ts *httptest.Server, method, path string, body []byte, out any) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == nil {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+// waitJob polls a job until it reaches a terminal state, asserting along
+// the way that the reported progress only ever grows.
+func waitJob(t *testing.T, ts *httptest.Server, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	prevDone := -1
+	for {
+		var st jobs.Status
+		resp := jobRequest(t, ts, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job status: %d", resp.StatusCode)
+		}
+		if st.Progress.ScenariosDone < prevDone {
+			t.Fatalf("progress went backwards: %d then %d", prevDone, st.Progress.ScenariosDone)
+		}
+		prevDone = st.Progress.ScenariosDone
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		depth    int64
+		maxQueue int
+		want     int
+	}{
+		{0, 100, 1},    // empty queue: historical floor
+		{5, 0, 1},      // unbounded queue: no fill fraction to scale by
+		{-3, 100, 1},   // defensive: negative depth
+		{1, 100, 1},    // near-empty rounds up to the floor
+		{50, 100, 15},  // half-full queue → half the cap
+		{100, 100, 30}, // full queue → cap
+		{500, 100, 30}, // over-full clamps to cap
+		{1, 1, 30},     // tiny queue saturates immediately
+		{33, 100, 10},  // ceiling division: 33*30/100 = 9.9 → 10
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.depth, c.maxQueue); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %d) = %d, want %d", c.depth, c.maxQueue, got, c.want)
+		}
+	}
+}
+
+func TestErrorEnvelopeNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	send := func(accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/advise", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// No Accept header (and the permissive */*): legacy shape, a plain
+	// string under "error" — existing clients see exactly what they did
+	// before the envelope existed.
+	for _, accept := range []string{"", "*/*", "text/html"} {
+		resp, body := send(accept)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("Accept=%q: status %d", accept, resp.StatusCode)
+		}
+		var legacy struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &legacy); err != nil || legacy.Error == "" {
+			t.Fatalf("Accept=%q: legacy body = %s (%v)", accept, body, err)
+		}
+		if bytes.Contains(body, []byte(`"code"`)) {
+			t.Fatalf("Accept=%q: legacy client got the envelope: %s", accept, body)
+		}
+	}
+
+	// Accept naming application/json (alone, in a list, or as a +json
+	// suffix): structured envelope.
+	for _, accept := range []string{
+		"application/json",
+		"text/html, application/json;q=0.9",
+		"application/problem+json",
+	} {
+		resp, body := send(accept)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("Accept=%q: status %d", accept, resp.StatusCode)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("Accept=%q: envelope body = %s (%v)", accept, body, err)
+		}
+		if env.Error.Code != CodeBadRequest || env.Error.Message == "" {
+			t.Fatalf("Accept=%q: envelope = %+v", accept, env)
+		}
+	}
+}
+
+func TestShedRetryAfterScalesWithQueueDepth(t *testing.T) {
+	// MaxQueue 4 with the semaphore held: each parked request deepens the
+	// queue, so successive shed responses must carry growing hints.
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 4})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	srv.evalHook = func(ctx context.Context) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	defer close(release)
+
+	postAsync := func(doc []byte) {
+		go func() {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/advise", bytes.NewReader(doc))
+			resp, err := ts.Client().Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	postAsync(encodeDoc(t, tinyDoc(100_000)))
+	select {
+	case <-entered: // leader holds the only slot
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never started evaluating")
+	}
+
+	// Park four distinct documents in the queue (distinct fingerprints so
+	// nothing coalesces), waiting on the live depth gauge so the probe
+	// below cannot itself end up parked.
+	for i := 0; i < 4; i++ {
+		postAsync(encodeDoc(t, tinyDoc(int64(200_000+i))))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.queued.Load() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d", srv.queued.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/advise", bytes.NewReader(encodeDoc(t, tinyDoc(999_999))))
+	req.Header.Set("Accept", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error errorBody `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != CodeShed {
+		t.Fatalf("probe beyond capacity: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+	var hint int
+	fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &hint)
+	if env.Error.RetryAfterSecs != hint {
+		t.Fatalf("envelope hint %d != header %d", env.Error.RetryAfterSecs, hint)
+	}
+	// Depth 4 of 4 → the full-queue cap, not the historical constant 1s.
+	if hint != maxRetryAfterSecs {
+		t.Fatalf("full-queue Retry-After = %d, want %d", hint, maxRetryAfterSecs)
+	}
+}
+
+func TestJobAdviseLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	doc := encodeDoc(t, tinyDoc(100_000))
+
+	var receipt JobSubmitResponse
+	resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", doc, &receipt)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if receipt.Kind != jobKindAdvise || receipt.Coalesced || receipt.ID == "" {
+		t.Fatalf("receipt: %+v", receipt)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+receipt.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	st := waitJob(t, ts, receipt.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("state = %s (error %q)", st.State, st.Error)
+	}
+	if st.Progress.ScenariosDone != 1 || st.Progress.ScenariosTotal != 1 {
+		t.Fatalf("progress: %+v", st.Progress)
+	}
+	if st.StartedAt == nil || st.FinishedAt == nil {
+		t.Fatalf("missing timestamps: %+v", st)
+	}
+
+	var jobBody []byte
+	{
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + receipt.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result: %d %s", resp.StatusCode, buf.Bytes())
+		}
+		jobBody = buf.Bytes()
+	}
+
+	// The job result must be byte-identical to the synchronous endpoint.
+	code, state, syncBody := post(t, ts, "/v1/advise", doc)
+	if code != http.StatusOK {
+		t.Fatalf("sync advise: %d", code)
+	}
+	if !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("job result differs from sync response:\n%s\nvs\n%s", jobBody, syncBody)
+	}
+	// And since the job populated the response cache, the sync request
+	// must have been a cache hit — no recomputation.
+	if state != "hit" {
+		t.Fatalf("sync advise after job: cache state %q, want hit", state)
+	}
+
+	// Identical resubmission coalesces onto the stored job.
+	var again JobSubmitResponse
+	if resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", doc, &again); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", resp.StatusCode)
+	}
+	if !again.Coalesced || again.ID != receipt.ID || again.State != jobs.StateDone {
+		t.Fatalf("resubmit receipt: %+v", again)
+	}
+
+	// The list endpoint returns it.
+	var list JobListResponse
+	jobRequest(t, ts, http.MethodGet, "/v1/jobs", nil, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != receipt.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	m := srv.Metrics()
+	if m.Jobs.Submitted != 1 || m.Jobs.Coalesced != 1 || m.Jobs.Done != 1 ||
+		m.Jobs.ScenariosCompleted != 1 || m.JobsStored != 1 {
+		t.Fatalf("job metrics: %+v", m.Jobs)
+	}
+
+	// DELETE on a finished job evicts it.
+	if resp := jobRequest(t, ts, http.MethodDelete, "/v1/jobs/"+receipt.ID, nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if resp := jobRequest(t, ts, http.MethodGet, "/v1/jobs/"+receipt.ID, nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestJobSweepLifecycleByteIdentical(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	doc := encodeSweepDoc(t, tinySweepDoc(100_000))
+
+	var receipt JobSubmitResponse
+	resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", doc, &receipt)
+	if resp.StatusCode != http.StatusAccepted || receipt.Kind != jobKindSweep {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, receipt)
+	}
+
+	st := waitJob(t, ts, receipt.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("state = %s (error %q)", st.State, st.Error)
+	}
+	if st.Progress.ScenariosDone != 4 || st.Progress.ScenariosTotal != 4 {
+		t.Fatalf("progress: %+v", st.Progress)
+	}
+
+	respR, err := ts.Client().Get(ts.URL + "/v1/jobs/" + receipt.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(respR.Body)
+	respR.Body.Close()
+	if respR.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", respR.StatusCode)
+	}
+
+	// Byte-identical to the synchronous sweep on an INDEPENDENT server
+	// instance — cross-process determinism, not just a shared cache.
+	_, other := newTestServer(t, Config{})
+	code, _, syncBody := post(t, other, "/v1/sweep", doc)
+	if code != http.StatusOK {
+		t.Fatalf("sync sweep: %d", code)
+	}
+	if !bytes.Equal(buf.Bytes(), syncBody) {
+		t.Fatalf("job sweep result differs from independent sync sweep:\n%s\nvs\n%s", buf.Bytes(), syncBody)
+	}
+
+	if m := srv.Metrics(); m.Jobs.ScenariosCompleted != 4 {
+		t.Fatalf("scenario counter: %+v", m.Jobs)
+	}
+
+	// The metrics endpoint exposes the per-state counters.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`warlockd_jobs_total{state="done"} 1`,
+		`warlockd_jobs_submitted_total 1`,
+		`warlockd_job_scenarios_completed_total 4`,
+		`warlockd_jobs_stored 1`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+}
+
+func TestJobCancelMidRun(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	// Open the HTTP connection pool before taking the goroutine baseline,
+	// so the leak check below sees only the evaluation's goroutines.
+	jobRequest(t, ts, http.MethodGet, "/v1/jobs", nil, nil)
+	before := runtime.NumGoroutine()
+	running := make(chan struct{}, 1)
+	srv.evalHook = func(ctx context.Context) {
+		select {
+		case running <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // hold the evaluation until cancelled
+	}
+
+	doc := encodeSweepDoc(t, tinySweepDoc(100_000))
+	var receipt JobSubmitResponse
+	if resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", doc, &receipt); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	select {
+	case <-running:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started evaluating")
+	}
+
+	var st jobs.Status
+	if resp := jobRequest(t, ts, http.MethodDelete, "/v1/jobs/"+receipt.ID, nil, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	if st.State != jobs.StateCancelled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+
+	// The result route reports the cancellation as 410 + code.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+receipt.ID+"/result", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error errorBody `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || env.Error.Code != CodeCancelled {
+		t.Fatalf("result after cancel: %d %+v", resp.StatusCode, env)
+	}
+
+	// Cancellation must actually stop the pipeline: the job runner, the
+	// sweep workers and the evaluation all unwind (goroutine count falls
+	// back to roughly the pre-submission baseline; the server's own
+	// long-lived goroutines existed before it too).
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+4 {
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not unwind after cancel: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The evaluation semaphore must be free again: a synchronous request
+	// (different document, so no caches help) completes promptly once the
+	// hook is disarmed.
+	srv.evalHook = nil
+	code, _, _ := post(t, ts, "/v1/advise", encodeDoc(t, tinyDoc(777_777)))
+	if code != http.StatusOK {
+		t.Fatalf("advise after cancel: %d", code)
+	}
+
+	// Cancellation was explicit intent: resubmitting starts a fresh run.
+	var again JobSubmitResponse
+	if resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", doc, &again); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", resp.StatusCode)
+	}
+	if again.Coalesced {
+		t.Fatalf("resubmit after cancel coalesced: %+v", again)
+	}
+	if st := waitJob(t, ts, again.ID); st.State != jobs.StateDone {
+		t.Fatalf("rerun state = %s (error %q)", st.State, st.Error)
+	}
+	if m := srv.Metrics(); m.Jobs.Cancelled != 1 || m.Jobs.Done != 1 {
+		t.Fatalf("job metrics: %+v", m.Jobs)
+	}
+}
+
+// TestJobRestartResume seeds a jobs dir with a persisted submission and
+// its first checkpoints — exactly what a killed daemon leaves behind —
+// and verifies a fresh server resumes the job, replays the checkpointed
+// scenarios instead of re-evaluating them, and produces bytes identical
+// to an uninterrupted synchronous sweep.
+func TestJobRestartResume(t *testing.T) {
+	sd := tinySweepDoc(100_000)
+	spec := encodeSweepDoc(t, sd)
+	parsed, err := config.ParseSweep(bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := parsed.Fingerprint()
+
+	// Capture real checkpoints by running the sweep directly, the same
+	// way the server's job runner would have before the "crash".
+	base, grid, target, err := parsed.Canonical().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ck struct {
+		K int             `json:"k"`
+		V json.RawMessage `json:"v"`
+	}
+	var lines []ck
+	if _, err := sweep.Run(context.Background(), base, grid, sweep.Options{
+		ResponseTarget: target,
+		OnScenario: func(p sweep.Progress) {
+			b, err := json.Marshal(p.Outcome)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lines = append(lines, ck{K: p.Rep, V: b})
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("grid too small to test partial resume: %d reps", len(lines))
+	}
+
+	// Persist the spec and HALF the checkpoints in the documented on-disk
+	// format: {id}.job + {id}.ckpt JSONL.
+	dir := t.TempDir()
+	sf, err := json.Marshal(struct {
+		Kind string          `json:"kind"`
+		Spec json.RawMessage `json:"spec"`
+	}{Kind: jobKindSweep, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fp+".job"), sf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	kept := lines[:len(lines)/2]
+	for _, l := range kept {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt.Write(append(b, '\n'))
+	}
+	if err := os.WriteFile(filepath.Join(dir, fp+".ckpt"), ckpt.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh daemon pointed at the directory resumes the job on startup.
+	srv, ts := newTestServer(t, Config{JobsDir: dir})
+	st := waitJob(t, ts, fp)
+	if st.State != jobs.StateDone {
+		t.Fatalf("recovered job state = %s (error %q)", st.State, st.Error)
+	}
+	if st.Kind != jobKindSweep {
+		t.Fatalf("recovered kind = %q", st.Kind)
+	}
+	if st.Progress.ScenariosResumed == 0 {
+		t.Fatalf("no scenarios resumed from checkpoints: %+v", st.Progress)
+	}
+	if st.Progress.ScenariosDone != st.Progress.ScenariosTotal {
+		t.Fatalf("incomplete progress: %+v", st.Progress)
+	}
+	// Only the non-checkpointed scenarios were actually evaluated.
+	if m := srv.Metrics(); m.Jobs.ScenariosCompleted+int64(st.Progress.ScenariosResumed) != int64(st.Progress.ScenariosTotal) {
+		t.Fatalf("resumed+evaluated != total: counter=%d progress=%+v", m.Jobs.ScenariosCompleted, st.Progress)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + fp + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", resp.StatusCode)
+	}
+
+	// Byte-identical to an uninterrupted sync sweep on a separate server.
+	_, other := newTestServer(t, Config{})
+	code, _, want := post(t, other, "/v1/sweep", spec)
+	if code != http.StatusOK {
+		t.Fatalf("sync sweep: %d", code)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("resumed job result differs from uninterrupted sweep:\n%s\nvs\n%s", got.Bytes(), want)
+	}
+
+	// Completion removed the persisted files: nothing left to recover.
+	if p, _ := jobs.LoadPending(dir); len(p) != 0 {
+		t.Fatalf("files survive completion: %+v", p)
+	}
+}
+
+func TestJobAPIErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Unparseable document.
+	resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", []byte("{nope"), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad doc: %d", resp.StatusCode)
+	}
+	// Unknown forced kind.
+	resp = jobRequest(t, ts, http.MethodPost, "/v1/jobs?kind=mystery", encodeDoc(t, tinyDoc(1000)), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: %d", resp.StatusCode)
+	}
+	// Unknown job id.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result"} {
+		if resp := jobRequest(t, ts, http.MethodGet, path, nil, nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+	// Unknown sub-route.
+	if resp := jobRequest(t, ts, http.MethodGet, "/v1/jobs/x/result/extra", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deep route: %d", resp.StatusCode)
+	}
+	// Wrong methods.
+	if resp := jobRequest(t, ts, http.MethodDelete, "/v1/jobs", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE collection: %d", resp.StatusCode)
+	}
+	if resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs/abc", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST item: %d", resp.StatusCode)
+	}
+}
+
+func TestJobResultNotReady(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	defer close(release)
+	srv.evalHook = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	var receipt JobSubmitResponse
+	if resp := jobRequest(t, ts, http.MethodPost, "/v1/jobs", encodeDoc(t, tinyDoc(100_000)), &receipt); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+receipt.ID+"/result", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error errorBody `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || env.Error.Code != CodeNotReady {
+		t.Fatalf("unfinished result: %d %+v", resp.StatusCode, env)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("not_ready response missing Retry-After")
+	}
+}
+
+func TestJobKindSniffing(t *testing.T) {
+	if k := sniffKind(encodeDoc(t, tinyDoc(1000))); k != jobKindAdvise {
+		t.Fatalf("advise doc sniffed as %q", k)
+	}
+	if k := sniffKind(encodeSweepDoc(t, tinySweepDoc(1000))); k != jobKindSweep {
+		t.Fatalf("sweep doc sniffed as %q", k)
+	}
+	if k := sniffKind([]byte("garbage")); k != jobKindAdvise {
+		t.Fatalf("garbage sniffed as %q", k)
+	}
+}

@@ -61,6 +61,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/jobs"
+	"repro/internal/lru"
 	"repro/internal/schema"
 	"repro/internal/sweep"
 )
@@ -79,9 +81,6 @@ const (
 // this limit (the swap only costs warm state; results are identical
 // with and without it).
 const maxCachedEntries = 4096
-
-// retryAfterSeconds is the hint sent with load-shedding 503 responses.
-const retryAfterSeconds = "1"
 
 // Overload sentinels, mapped to 503 + Retry-After by the handlers.
 var (
@@ -127,6 +126,21 @@ type Config struct {
 	SlowRequestThreshold time.Duration
 	// Logger receives slow-request lines (nil uses log.Default()).
 	Logger *log.Logger
+
+	// JobTTL is how long finished asynchronous jobs stay queryable
+	// (<= 0 uses jobs.DefaultTTL).
+	JobTTL time.Duration
+	// MaxJobs bounds the asynchronous job store (<= 0 uses
+	// jobs.DefaultMaxJobs).
+	MaxJobs int
+	// MaxRunningJobs bounds concurrently running asynchronous jobs
+	// (<= 0 uses max(1, MaxConcurrent-1), so jobs can never hold every
+	// evaluation slot and synchronous requests always find one free).
+	MaxRunningJobs int
+	// JobsDir, when non-empty, persists job submissions and per-scenario
+	// checkpoints so a restarted daemon resumes interrupted sweeps from
+	// their last completed scenario.
+	JobsDir string
 }
 
 // Metrics is a snapshot of the service counters (also rendered by
@@ -173,6 +187,10 @@ type Metrics struct {
 	AdviseEntries int
 	SweepEntries  int
 	SchemaEntries int
+	// Jobs is a snapshot of the asynchronous job manager's counters and
+	// gauges; JobsStored is the current store size (any state).
+	Jobs       jobs.Totals
+	JobsStored int
 }
 
 // schemaEntry is one interned schema identity: the canonical
@@ -203,10 +221,13 @@ type Server struct {
 	adviseStats endpointStats
 	sweepStats  endpointStats
 
+	jobs    *jobs.Manager
+	jobsDir string
+
 	mu          sync.Mutex
-	adviseCache *lruCache[string, []byte]
-	sweepCache  *lruCache[string, []byte]
-	schemas     *lruCache[string, *schemaEntry]
+	adviseCache *lru.Cache[string, []byte]
+	sweepCache  *lru.Cache[string, []byte]
+	schemas     *lru.Cache[string, *schemaEntry]
 
 	adviseFlight flightGroup[[]byte]
 	sweepFlight  flightGroup[[]byte]
@@ -253,14 +274,33 @@ func New(cfg Config) *Server {
 		logger:        cfg.Logger,
 		adviseStats:   endpointStats{name: "advise"},
 		sweepStats:    endpointStats{name: "sweep"},
-		adviseCache:   newLRU[string, []byte](cacheSize),
-		sweepCache:    newLRU[string, []byte](cacheSize),
-		schemas:       newLRU[string, *schemaEntry](schemaSize),
+		adviseCache:   lru.New[string, []byte](cacheSize),
+		sweepCache:    lru.New[string, []byte](cacheSize),
+		schemas:       lru.New[string, *schemaEntry](schemaSize),
 	}
+	maxRunning := cfg.MaxRunningJobs
+	if maxRunning <= 0 {
+		// At least one evaluation slot stays out of the job pool's reach,
+		// so background jobs can never starve synchronous requests.
+		maxRunning = maxConc - 1
+		if maxRunning < 1 {
+			maxRunning = 1
+		}
+	}
+	s.jobsDir = cfg.JobsDir
+	s.jobs = jobs.New(jobs.Config{
+		TTL:        cfg.JobTTL,
+		MaxJobs:    cfg.MaxJobs,
+		MaxRunning: maxRunning,
+		Dir:        cfg.JobsDir,
+	})
 	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.recoverJobs()
 	return s
 }
 
@@ -269,12 +309,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close cancels the server's base context: queued evaluations stop
-// waiting and running pipelines drain. Safe to call more than once.
-// Callers draining an http.Server should call its Shutdown first (to
-// let in-flight requests finish) and Close the advisory server after —
-// or on drain timeout, to abort the stragglers.
-func (s *Server) Close() { s.cancel() }
+// Close stops the asynchronous job manager first — its jobs observe a
+// manager shutdown (not a user cancel), so persisted state survives for
+// restart recovery — then cancels the server's base context: queued
+// evaluations stop waiting and running pipelines drain. Safe to call
+// more than once. Callers draining an http.Server should call its
+// Shutdown first (to let in-flight requests finish) and Close the
+// advisory server after — or on drain timeout, to abort the stragglers.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.cancel()
+}
 
 // Metrics returns a snapshot of the service counters.
 func (s *Server) Metrics() Metrics {
@@ -282,6 +327,8 @@ func (s *Server) Metrics() Metrics {
 	m := s.c
 	s.cmu.Unlock()
 	m.QueueDepth = s.queued.Load()
+	m.Jobs = s.jobs.Totals()
+	m.JobsStored = s.jobs.Len()
 	s.mu.Lock()
 	m.AdviseEntries = s.adviseCache.Len()
 	m.SweepEntries = s.sweepCache.Len()
@@ -331,7 +378,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			fp := doc.Fingerprint()
 			return fp, func(ctx context.Context, st *stageTimes) ([]byte, error) {
-				return s.evalSweep(ctx, doc, fp, st)
+				return s.evalSweep(ctx, doc, fp, st, nil)
 			}, nil
 		})
 }
@@ -341,10 +388,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // parse, consult the response cache, and run or join a singleflight
 // whose evaluation context lives exactly as long as someone is waiting.
 func (s *Server) serveAdvisory(w http.ResponseWriter, r *http.Request,
-	ep *endpointStats, cache *lruCache[string, []byte], fl *flightGroup[[]byte], parse parseFunc) {
+	ep *endpointStats, cache *lru.Cache[string, []byte], fl *flightGroup[[]byte], parse parseFunc) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, 0, errors.New("POST required"))
 		return
 	}
 	s.count(func(m *Metrics) { m.Requests++ })
@@ -370,7 +417,7 @@ func (s *Server) serveAdvisory(w http.ResponseWriter, r *http.Request,
 	st.parse = time.Since(pt)
 	ep.parse.observe(st.parse)
 	if err != nil {
-		status = s.writeParseError(w, err)
+		status = s.writeParseError(w, r, err)
 		return
 	}
 	fp = fpParsed
@@ -395,7 +442,7 @@ func (s *Server) serveAdvisory(w http.ResponseWriter, r *http.Request,
 		b, err, _ = fl.Do(reqCtx, s.baseCtx, fp, run)
 	}
 	if err != nil {
-		status = s.writeAdvisoryError(w, reqCtx, err)
+		status = s.writeAdvisoryError(w, r, reqCtx, err)
 		return
 	}
 	state = "miss"
@@ -463,7 +510,11 @@ func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string
 	return b, nil
 }
 
-func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string, st *stageTimes) ([]byte, error) {
+// evalSweep is the sweep evaluation path, shared by the synchronous
+// endpoint (j == nil) and the asynchronous job runner (j != nil, which
+// adds progress streaming, resume and checkpointing — the rendered
+// bytes are identical either way).
+func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string, st *stageTimes, j *jobs.Job) ([]byte, error) {
 	if b, ok := s.cacheGet(s.sweepCache, fp); ok {
 		s.count(func(m *Metrics) { m.CacheHits++ })
 		return b, nil
@@ -473,6 +524,11 @@ func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string,
 	base, grid, target, err := doc.Build()
 	if err != nil {
 		return nil, err
+	}
+	opts := sweep.Options{ResponseTarget: target}
+	if j != nil {
+		j.Update(func(p *jobs.Progress) { p.ScenariosTotal = grid.Size() })
+		jobSweepOptions(j, &opts)
 	}
 	star, evalCache := s.internSchema(doc.Base.SchemaFingerprint(), base.Schema)
 	base.Schema = star
@@ -489,7 +545,7 @@ func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string,
 		s.evalHook(ctx)
 	}
 	et := time.Now()
-	rep, err := sweep.Run(ctx, base, grid, sweep.Options{ResponseTarget: target})
+	rep, err := sweep.Run(ctx, base, grid, opts)
 	st.evaluate = time.Since(et)
 	s.sweepStats.evaluate.observe(st.evaluate)
 	if err != nil {
@@ -518,7 +574,7 @@ func (s *Server) allowGetHead(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	w.Header().Set("Allow", "GET, HEAD")
-	s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET or HEAD required"))
+	s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, 0, errors.New("GET or HEAD required"))
 	return false
 }
 
@@ -553,6 +609,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "warlockd_advise_cache_entries %d\n", m.AdviseEntries)
 	fmt.Fprintf(w, "warlockd_sweep_cache_entries %d\n", m.SweepEntries)
 	fmt.Fprintf(w, "warlockd_schema_cache_entries %d\n", m.SchemaEntries)
+	fmt.Fprintf(w, "warlockd_jobs_total{state=%q} %d\n", jobs.StateQueued, m.Jobs.Queued)
+	fmt.Fprintf(w, "warlockd_jobs_total{state=%q} %d\n", jobs.StateRunning, m.Jobs.Running)
+	fmt.Fprintf(w, "warlockd_jobs_total{state=%q} %d\n", jobs.StateDone, m.Jobs.Done)
+	fmt.Fprintf(w, "warlockd_jobs_total{state=%q} %d\n", jobs.StateFailed, m.Jobs.Failed)
+	fmt.Fprintf(w, "warlockd_jobs_total{state=%q} %d\n", jobs.StateCancelled, m.Jobs.Cancelled)
+	fmt.Fprintf(w, "warlockd_jobs_submitted_total %d\n", m.Jobs.Submitted)
+	fmt.Fprintf(w, "warlockd_jobs_coalesced_total %d\n", m.Jobs.Coalesced)
+	fmt.Fprintf(w, "warlockd_job_scenarios_completed_total %d\n", m.Jobs.ScenariosCompleted)
+	fmt.Fprintf(w, "warlockd_jobs_stored %d\n", m.JobsStored)
 	s.adviseStats.write(w, "warlockd_request_stage_seconds")
 	s.sweepStats.write(w, "warlockd_request_stage_seconds")
 }
@@ -566,12 +631,16 @@ func (s *Server) logSlow(endpoint, fp string, status int, state string, total ti
 	if fp == "" {
 		fp = "-"
 	}
+	s.logf("warlockd: slow request endpoint=%s fingerprint=%s status=%d cache=%s total=%s parse=%s queue=%s evaluate=%s serialize=%s",
+		endpoint, fp, status, state, total, st.parse, st.queue, st.evaluate, st.serialize)
+}
+
+func (s *Server) logf(format string, args ...any) {
 	lg := s.logger
 	if lg == nil {
 		lg = log.Default()
 	}
-	lg.Printf("warlockd: slow request endpoint=%s fingerprint=%s status=%d cache=%s total=%s parse=%s queue=%s evaluate=%s serialize=%s",
-		endpoint, fp, status, state, total, st.parse, st.queue, st.evaluate, st.serialize)
+	lg.Printf(format, args...)
 }
 
 // internSchema returns the canonical star and shared evaluation cache
@@ -645,13 +714,13 @@ func (s *Server) release() {
 	s.count(func(m *Metrics) { m.InFlight-- })
 }
 
-func (s *Server) cacheGet(c *lruCache[string, []byte], key string) ([]byte, bool) {
+func (s *Server) cacheGet(c *lru.Cache[string, []byte], key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return c.Get(key)
 }
 
-func (s *Server) cacheAdd(c *lruCache[string, []byte], key string, b []byte) {
+func (s *Server) cacheAdd(c *lru.Cache[string, []byte], key string, b []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c.Add(key, b)
@@ -664,66 +733,56 @@ func isCtxErr(err error) bool {
 // writeParseError maps request decoding failures: an oversized body is
 // 413 (the *http.MaxBytesError survives config's error wrapping), any
 // other parse failure is the client's 400.
-func (s *Server) writeParseError(w http.ResponseWriter, err error) int {
+func (s *Server) writeParseError(w http.ResponseWriter, r *http.Request, err error) int {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		return s.writeError(w, http.StatusRequestEntityTooLarge,
+		return s.writeError(w, r, http.StatusRequestEntityTooLarge, CodeOversized, 0,
 			fmt.Errorf("request body exceeds the configured limit of %d bytes", mbe.Limit))
 	}
-	return s.writeError(w, http.StatusBadRequest, err)
+	return s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, 0, err)
 }
 
 // writeAdvisoryError maps evaluation-path errors to HTTP statuses and
 // counts the operational ones: invalid documents are the client's fault
 // (400/413), an advisory with no feasible candidate is a semantic
-// failure (422), overload is shed with 503 + Retry-After, and a
-// cancelled evaluation is disambiguated by who cancelled it — the
-// request deadline (504), the departed client (408), or server shutdown
-// (503).
-func (s *Server) writeAdvisoryError(w http.ResponseWriter, reqCtx context.Context, err error) int {
+// failure (422), overload is shed with 503 + a Retry-After computed
+// from the live queue backlog, and a cancelled evaluation is
+// disambiguated by who cancelled it — the request deadline (504), the
+// departed client (408), or server shutdown (503).
+func (s *Server) writeAdvisoryError(w http.ResponseWriter, r *http.Request, reqCtx context.Context, err error) int {
 	switch {
 	case errors.Is(err, errShed):
 		s.count(func(m *Metrics) { m.Shed++ })
-		w.Header().Set("Retry-After", retryAfterSeconds)
-		return s.writeError(w, http.StatusServiceUnavailable, err)
+		return s.writeError(w, r, http.StatusServiceUnavailable, CodeShed, s.retryAfter(), err)
 	case errors.Is(err, errQueueTimeout):
 		s.count(func(m *Metrics) { m.Timeouts++ })
-		w.Header().Set("Retry-After", retryAfterSeconds)
-		return s.writeError(w, http.StatusServiceUnavailable, err)
+		return s.writeError(w, r, http.StatusServiceUnavailable, CodeQueueTimeout, s.retryAfter(), err)
 	case errors.Is(err, config.ErrBadConfig):
-		return s.writeParseError(w, err)
+		return s.writeParseError(w, r, err)
 	case errors.Is(err, core.ErrNoFeasible):
-		return s.writeError(w, http.StatusUnprocessableEntity, err)
+		return s.writeError(w, r, http.StatusUnprocessableEntity, CodeUnfeasible, 0, err)
 	case isCtxErr(err):
 		switch {
 		case s.baseCtx.Err() != nil:
-			return s.writeError(w, http.StatusServiceUnavailable,
+			return s.writeError(w, r, http.StatusServiceUnavailable, CodeShutdown, 0,
 				errors.New("advisory cancelled: server shutting down"))
 		case errors.Is(reqCtx.Err(), context.DeadlineExceeded):
 			s.count(func(m *Metrics) { m.Timeouts++ })
-			return s.writeError(w, http.StatusGatewayTimeout,
+			return s.writeError(w, r, http.StatusGatewayTimeout, CodeDeadline, 0,
 				errors.New("advisory timed out before completing (request timeout exceeded)"))
 		case errors.Is(reqCtx.Err(), context.Canceled):
 			s.count(func(m *Metrics) { m.ClientGone++ })
-			return s.writeError(w, http.StatusRequestTimeout,
+			return s.writeError(w, r, http.StatusRequestTimeout, CodeClientGone, 0,
 				errors.New("client went away before the advisory completed"))
 		default:
 			// A joined flight died under this caller twice (its other
 			// waiters left mid-retry); rare, transient, retryable.
-			w.Header().Set("Retry-After", retryAfterSeconds)
-			return s.writeError(w, http.StatusServiceUnavailable,
+			return s.writeError(w, r, http.StatusServiceUnavailable, CodeRetry, s.retryAfter(),
 				errors.New("advisory evaluation cancelled, retry"))
 		}
 	default:
-		return s.writeError(w, http.StatusInternalServerError, err)
+		return s.writeError(w, r, http.StatusInternalServerError, CodeInternal, 0, err)
 	}
-}
-
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) int {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-	return code
 }
 
 func writeJSON(w http.ResponseWriter, b []byte, cacheState string) {

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Outcome is the checkpointable summary of one representative advisory:
+// exactly the fields the report serialization (WriteJSON, Table) and the
+// recommendation logic (Best, MeetsTarget) consume, in lossless form
+// (durations as integer nanoseconds, never float milliseconds). A sweep
+// resumed from persisted Outcomes produces a report byte-identical to an
+// uninterrupted run — the async job subsystem checkpoints one Outcome
+// per completed representative scenario for exactly this purpose.
+//
+// JSON field names are part of the on-disk checkpoint format; changing
+// them invalidates existing job checkpoints.
+type Outcome struct {
+	// Failed reports an advisory error; Err carries its message.
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// HasResult mirrors "the advisory produced a (possibly partial)
+	// result"; prune stats are meaningful only when set.
+	HasResult      bool `json:"hasResult,omitempty"`
+	PruneEvaluated int  `json:"pruneEvaluated,omitempty"`
+	PruneSkipped   int  `json:"pruneSkipped,omitempty"`
+	// HasWinner reports a successful advisory with a ranked winner; the
+	// remaining fields describe that winner.
+	HasWinner  bool   `json:"hasWinner,omitempty"`
+	Winner     string `json:"winner,omitempty"`
+	WinnerKey  string `json:"winnerKey,omitempty"`
+	Fragments  int64  `json:"fragments,omitempty"`
+	AccessNs   int64  `json:"accessNs,omitempty"`
+	ResponseNs int64  `json:"responseNs,omitempty"`
+	Scheme     string `json:"scheme,omitempty"`
+	CapacityOK bool   `json:"capacityOK,omitempty"`
+}
+
+// outcomeOf derives the checkpointable summary from one representative
+// advisory. sc must be the representative scenario (its input schema
+// names the winner; identical for every scenario of the group).
+func outcomeOf(sc *Scenario, res *core.Result, err error) Outcome {
+	var o Outcome
+	if err != nil {
+		o.Failed = true
+		o.Err = err.Error()
+	}
+	if res != nil {
+		o.HasResult = true
+		o.PruneEvaluated = res.PruneStats.Evaluated
+		o.PruneSkipped = res.PruneStats.Skipped
+		if ev := res.Best(); err == nil && ev != nil {
+			o.HasWinner = true
+			o.Winner = ev.Frag.Name(sc.Input.Schema)
+			o.WinnerKey = ev.Frag.Key()
+			o.Fragments = ev.Geometry.NumFragments()
+			o.AccessNs = int64(ev.AccessCost)
+			o.ResponseNs = int64(ev.ResponseTime)
+			o.Scheme = ev.Placement.Scheme.String()
+			o.CapacityOK = ev.CapacityOK
+		}
+	}
+	return o
+}
+
+// AccessCost returns the winner's I/O cost as a duration.
+func (o *Outcome) AccessCost() time.Duration { return time.Duration(o.AccessNs) }
+
+// ResponseTime returns the winner's response time as a duration.
+func (o *Outcome) ResponseTime() time.Duration { return time.Duration(o.ResponseNs) }
+
+// Progress is delivered to Options.OnScenario once per representative
+// advisory, as soon as it (and therefore its whole result-sharing group)
+// completes. Calls are serialized; Done increases monotonically and
+// reaches Total exactly when the sweep finishes.
+type Progress struct {
+	// Rep is the representative scenario's index in canonical grid
+	// order — the key a resumable caller persists the Outcome under.
+	Rep int
+	// Group is the number of scenarios sharing this advisory (the
+	// representative included).
+	Group int
+	// Done / Total count scenarios (not advisories): Done includes every
+	// scenario of every completed group.
+	Done, Total int
+	// Outcome is the advisory's checkpointable summary.
+	Outcome Outcome
+	// Resumed reports an Outcome replayed from Options.Resume rather
+	// than evaluated in this run.
+	Resumed bool
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -24,16 +25,35 @@ type Options struct {
 	// marks scenarios whose winner meets it, and Best() prefers the
 	// smallest disk count among them.
 	ResponseTarget time.Duration
+	// OnScenario, when set, is called once per representative advisory
+	// as it completes (resumed ones replay first, in canonical order).
+	// Calls are serialized; the callback must not block for long — it
+	// sits between scenario completions. Results are unaffected.
+	OnScenario func(Progress)
+	// Resume maps representative scenario indices (Progress.Rep from an
+	// earlier run over the identical grid) to their persisted Outcomes;
+	// those advisories are skipped and their Outcomes replayed, which is
+	// what lets an interrupted sweep continue from its last completed
+	// scenario. Entries that do not name a representative index are
+	// ignored. Resumed scenarios carry no Result (the full evaluation
+	// was never redone) but serialize byte-identically.
+	Resume map[int]Outcome
 }
 
 // ScenarioResult is one evaluated grid point.
 type ScenarioResult struct {
 	Scenario
 	// Result is the full advisory (possibly partial when Err != nil).
+	// Nil for scenarios replayed from Options.Resume: the checkpointed
+	// Outcome stands in for the evaluation.
 	Result *core.Result
 	// Err is the scenario's advisory error (e.g. every candidate
 	// excluded); scenario errors do not abort the sweep.
 	Err error
+	// Outcome is the advisory's serialization-complete summary — the
+	// single source the report renderers and Best() read, so live and
+	// resumed scenarios are indistinguishable on every output surface.
+	Outcome Outcome
 }
 
 // Best returns the scenario's winning evaluation, or nil.
@@ -91,17 +111,57 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 		groupOf[gk] = append(groupOf[gk], i)
 	}
 
+	// Partition representatives into resumed (Outcome replayed from a
+	// checkpoint) and live (advised in this run).
+	var live []int
+	resumed := make(map[int]bool, len(opts.Resume))
+	for _, i := range reps {
+		if _, ok := opts.Resume[i]; ok {
+			resumed[i] = true
+		} else {
+			live = append(live, i)
+		}
+	}
+
+	// Progress accounting: Done counts scenarios (whole groups complete
+	// with their representative); the callback is serialized under pmu.
+	var pmu sync.Mutex
+	done := 0
+	notify := func(ri int, o Outcome, wasResumed bool) {
+		pmu.Lock()
+		defer pmu.Unlock()
+		done += len(groupOf[scens[ri].group])
+		if opts.OnScenario != nil {
+			opts.OnScenario(Progress{
+				Rep:     ri,
+				Group:   len(groupOf[scens[ri].group]),
+				Done:    done,
+				Total:   len(scens),
+				Outcome: o,
+				Resumed: wasResumed,
+			})
+		}
+	}
+	// Replay checkpointed groups first, in canonical order, so a caller
+	// watching progress sees the resumed prefix before fresh work.
+	for _, i := range reps {
+		if resumed[i] {
+			notify(i, opts.Resume[i], true)
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(reps) {
-		workers = len(reps)
+	if workers > len(live) {
+		workers = len(live)
 	}
 
 	type advised struct {
-		res *core.Result
-		err error
+		res     *core.Result
+		err     error
+		outcome Outcome
 	}
 	results := make([]advised, len(scens)) // indexed by representative
 	jobs := make(chan int)
@@ -114,11 +174,15 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 				run := *scens[i].Input
 				run.EvalCache = cache
 				res, err := core.AdviseContext(ctx, &run)
-				results[i] = advised{res: res, err: err}
+				o := outcomeOf(&scens[i], res, err)
+				results[i] = advised{res: res, err: err, outcome: o}
+				if ctx.Err() == nil {
+					notify(i, o, false)
+				}
 			}
 		}()
 	}
-	for _, i := range reps {
+	for _, i := range live {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -140,12 +204,18 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 	}
 	for _, ri := range reps {
 		adv := results[ri]
-		if adv.res != nil {
-			rep.PruneEvaluated += adv.res.PruneStats.Evaluated
-			rep.PruneSkipped += adv.res.PruneStats.Skipped
+		if resumed[ri] {
+			adv = advised{outcome: opts.Resume[ri]}
+			if adv.outcome.Failed {
+				adv.err = errors.New(adv.outcome.Err)
+			}
+		}
+		if adv.outcome.HasResult {
+			rep.PruneEvaluated += adv.outcome.PruneEvaluated
+			rep.PruneSkipped += adv.outcome.PruneSkipped
 		}
 		for _, i := range groupOf[scens[ri].group] {
-			sr := ScenarioResult{Scenario: scens[i], Err: adv.err}
+			sr := ScenarioResult{Scenario: scens[i], Err: adv.err, Outcome: adv.outcome}
 			if adv.res != nil {
 				// Share the group's evaluations and ranking (identical
 				// for every Parallelism by construction) but carry the
@@ -184,14 +254,14 @@ func (r *Report) Best() *ScenarioResult {
 	var best, bestAny *ScenarioResult
 	for i := range r.Scenarios {
 		sr := &r.Scenarios[i]
-		ev := sr.Best()
-		if sr.Err != nil || ev == nil {
+		o := &sr.Outcome
+		if !o.HasWinner {
 			continue
 		}
-		if bestAny == nil || ev.ResponseTime < bestAny.Best().ResponseTime {
+		if bestAny == nil || o.ResponseNs < bestAny.Outcome.ResponseNs {
 			bestAny = sr
 		}
-		if ev.CapacityOK && (best == nil || ev.ResponseTime < best.Best().ResponseTime) {
+		if o.CapacityOK && (best == nil || o.ResponseNs < best.Outcome.ResponseNs) {
 			best = sr
 		}
 	}
@@ -204,8 +274,8 @@ func (r *Report) Best() *ScenarioResult {
 // MeetsTarget reports whether the scenario's winner fits the disk
 // capacity and meets the given response-time target.
 func (sr *ScenarioResult) MeetsTarget(target time.Duration) bool {
-	ev := sr.Best()
-	return sr.Err == nil && ev != nil && ev.CapacityOK && target > 0 && ev.ResponseTime <= target
+	o := &sr.Outcome
+	return o.HasWinner && o.CapacityOK && target > 0 && o.ResponseTime() <= target
 }
 
 // bestMeeting picks the smallest-disk-count capacity-feasible scenario
@@ -227,7 +297,7 @@ func (r *Report) bestMeeting(target time.Duration) *ScenarioResult {
 		switch {
 		case sd < bd:
 			best = sr
-		case sd == bd && sr.Best().ResponseTime < best.Best().ResponseTime:
+		case sd == bd && sr.Outcome.ResponseNs < best.Outcome.ResponseNs:
 			best = sr
 		}
 	}
@@ -244,14 +314,14 @@ func (r *Report) Table(w io.Writer) error {
 	fmt.Fprintln(tw, header)
 	for i := range r.Scenarios {
 		sr := &r.Scenarios[i]
-		if ev := sr.Best(); sr.Err == nil && ev != nil {
+		if o := &sr.Outcome; o.HasWinner {
 			capLabel := "ok"
-			if !ev.CapacityOK {
+			if !o.CapacityOK {
 				capLabel = "over"
 			}
 			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%s\t%s",
-				sr.Name, ev.Frag.Name(sr.Input.Schema), ev.Geometry.NumFragments(),
-				durMs(ev.AccessCost), durMs(ev.ResponseTime), ev.Placement.Scheme, capLabel)
+				sr.Name, o.Winner, o.Fragments,
+				durMs(o.AccessCost()), durMs(o.ResponseTime()), o.Scheme, capLabel)
 			if r.Target > 0 {
 				mark := "-"
 				if sr.MeetsTarget(r.Target) {
@@ -314,17 +384,17 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			pf := sr.Prefetch
 			row.Prefetch = &pf
 		}
-		if ev := sr.Best(); sr.Err == nil && ev != nil {
-			row.Winner = ev.Frag.Name(sr.Input.Schema)
-			row.WinnerKey = ev.Frag.Key()
-			row.Fragments = ev.Geometry.NumFragments()
-			row.AccessMs = durMs(ev.AccessCost)
-			row.ResponseMs = durMs(ev.ResponseTime)
-			row.Scheme = ev.Placement.Scheme.String()
-			row.CapacityOK = ev.CapacityOK
+		if o := &sr.Outcome; o.HasWinner {
+			row.Winner = o.Winner
+			row.WinnerKey = o.WinnerKey
+			row.Fragments = o.Fragments
+			row.AccessMs = durMs(o.AccessCost())
+			row.ResponseMs = durMs(o.ResponseTime())
+			row.Scheme = o.Scheme
+			row.CapacityOK = o.CapacityOK
 			row.MeetsTarget = sr.MeetsTarget(r.Target)
-		} else if sr.Err != nil {
-			row.Error = sr.Err.Error()
+		} else if o.Failed {
+			row.Error = o.Err
 		}
 		doc.Scenarios = append(doc.Scenarios, row)
 	}

@@ -1,0 +1,226 @@
+package warlock
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// Job client: the Advisor side of warlockd's asynchronous job API.
+// A job is the same advise/sweep JSON document the synchronous
+// endpoints take, detached from the request lifetime — submit it once,
+// poll its progress, fetch the result when done. The job id is the
+// document's canonical fingerprint, so resubmitting an identical
+// document attaches to the existing job instead of starting another.
+//
+//	adv := warlock.New(warlock.WithEndpoint("http://localhost:8080"))
+//	receipt, err := adv.Submit(ctx, sweepDoc)
+//	body, err := adv.WaitJob(ctx, receipt.ID, 500*time.Millisecond)
+//
+// The fetched body is byte-identical to what the synchronous endpoint
+// would have returned for the same document.
+
+// Asynchronous job types, re-exported from the service.
+type (
+	// JobStatus is the body of GET /v1/jobs/{id}: state, lifecycle
+	// timestamps, live scenario progress and stage timings.
+	JobStatus = jobs.Status
+	// JobProgress is the live progress block inside JobStatus.
+	JobProgress = jobs.Progress
+	// JobState is a job's lifecycle phase.
+	JobState = jobs.State
+	// JobReceipt is the body of POST /v1/jobs: the job id to poll,
+	// whether the submission coalesced onto an existing job, and the
+	// job's state at submission time.
+	JobReceipt = server.JobSubmitResponse
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// ErrNoEndpoint reports a job-client call on an Advisor constructed
+// without WithEndpoint.
+var ErrNoEndpoint = errors.New("warlock: advisor has no endpoint (construct it with WithEndpoint)")
+
+// APIError is a structured error response from warlockd. The job client
+// always negotiates the structured envelope (Accept: application/json),
+// so every non-2xx response decodes into one; Code values are listed in
+// the package documentation's error-code table.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code (e.g. "shed",
+	// "queue_timeout", "not_ready", "cancelled").
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// RetryAfterSeconds, when > 0, is the server's backoff hint.
+	RetryAfterSeconds int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("warlockd: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Submit sends one advise or sweep document to POST /v1/jobs. The
+// document kind is sniffed from its shape server-side (a top-level
+// "base" key marks a sweep). Submitting a document identical to a
+// stored job's returns that job's receipt with Coalesced set.
+func (a *Advisor) Submit(ctx context.Context, doc []byte) (*JobReceipt, error) {
+	var receipt JobReceipt
+	if err := a.doJSON(ctx, http.MethodPost, "/v1/jobs", doc, &receipt); err != nil {
+		return nil, err
+	}
+	return &receipt, nil
+}
+
+// JobStatus fetches a job's state and live progress.
+func (a *Advisor) JobStatus(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := a.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobResult fetches a finished job's body — byte-identical to the
+// synchronous endpoint's response for the same document. An unfinished
+// job yields an *APIError with Code "not_ready" (HTTP 409); a cancelled
+// one, "cancelled" (410); a failed one, its evaluation error mapped
+// through the same taxonomy the synchronous endpoints use.
+func (a *Advisor) JobResult(ctx context.Context, id string) ([]byte, error) {
+	resp, err := a.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// CancelJob cancels a queued or running job (its evaluation stops via
+// context cancellation) or evicts a finished one; the returned status
+// reflects the job after the cancel.
+func (a *Advisor) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := a.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls a job's status every poll interval (<= 0 uses 500ms)
+// until it reaches a terminal state, then returns its result — the
+// bytes for a done job, the mapped *APIError for a failed or cancelled
+// one. ctx bounds the whole wait.
+func (a *Advisor) WaitJob(ctx context.Context, id string, poll time.Duration) ([]byte, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := a.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return a.JobResult(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// do issues one request against the configured endpoint, negotiating
+// the structured error envelope via Accept.
+func (a *Advisor) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	if a.endpoint == "" {
+		return nil, ErrNoEndpoint
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(a.endpoint, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	httpc := a.httpc
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return httpc.Do(req)
+}
+
+// doJSON issues a request and decodes a 2xx JSON body into out.
+func (a *Advisor) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	resp, err := a.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return readAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// readAPIError decodes an error response into *APIError, tolerating
+// both the structured envelope and the legacy {"error": "message"}
+// shape.
+func readAPIError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	out := &APIError{Status: resp.StatusCode, Code: "internal"}
+	var envelope struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(b, &envelope) == nil && len(envelope.Error) > 0 {
+		var structured struct {
+			Code              string `json:"code"`
+			Message           string `json:"message"`
+			RetryAfterSeconds int    `json:"retry_after_seconds"`
+		}
+		var legacy string
+		switch {
+		case json.Unmarshal(envelope.Error, &structured) == nil && structured.Code != "":
+			out.Code = structured.Code
+			out.Message = structured.Message
+			out.RetryAfterSeconds = structured.RetryAfterSeconds
+		case json.Unmarshal(envelope.Error, &legacy) == nil:
+			out.Message = legacy
+		}
+	}
+	if out.Message == "" {
+		out.Message = strings.TrimSpace(string(b))
+		if out.Message == "" {
+			out.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package warlock_test
+
+// End-to-end test of the Advisor's job client against an embedded
+// warlockd: submit, wait, fetch — and the APIError mapping for the
+// structured error envelope.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/warlock"
+)
+
+func TestAdvisorJobClient(t *testing.T) {
+	srv := warlock.NewServer(warlock.ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	adv := warlock.New(warlock.WithEndpoint(ts.URL + "/")) // trailing slash must be tolerated
+	ctx := context.Background()
+
+	doc := []byte(`{
+	  "schema": {
+	    "name": "tiny",
+	    "fact": {"name": "F", "rows": 50000, "rowSize": 100},
+	    "dimensions": [
+	      {"name": "D1", "levels": [{"name": "a", "cardinality": 4}]},
+	      {"name": "D2", "levels": [{"name": "x", "cardinality": 8}]}
+	    ]
+	  },
+	  "disk": {"pageSize": 8192, "disks": 4, "capacityGB": 4,
+	           "avgSeekMs": 8, "avgRotationMs": 3, "transferMBs": 20},
+	  "queries": [{"name": "Q1", "weight": 1, "attributes": ["D1.a", "D2.x"]}]
+	}`)
+
+	receipt, err := adv.Submit(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.ID == "" || receipt.Kind != "advise" || receipt.Coalesced {
+		t.Fatalf("receipt: %+v", receipt)
+	}
+
+	body, err := adv.WaitJob(ctx, receipt.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Ranked []json.RawMessage `json:"ranked"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("result not valid JSON: %v\n%s", err, body)
+	}
+
+	// Status reflects the finished run.
+	st, err := adv.JobStatus(ctx, receipt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != warlock.JobDone || !st.State.Terminal() {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// The job body matches the synchronous endpoint byte for byte.
+	resp, err := ts.Client().Post(ts.URL+"/v1/advise", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sync bytes.Buffer
+	sync.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(body, sync.Bytes()) {
+		t.Fatal("job result differs from synchronous response")
+	}
+
+	// Identical resubmission coalesces.
+	again, err := adv.Submit(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Coalesced || again.ID != receipt.ID {
+		t.Fatalf("resubmit: %+v", again)
+	}
+
+	// Cancelling a finished job evicts it; the next lookup is a typed 404.
+	if _, err := adv.CancelJob(ctx, receipt.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = adv.JobStatus(ctx, receipt.ID)
+	var apiErr *warlock.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 || apiErr.Code != "not_found" {
+		t.Fatalf("status after evict: %v", err)
+	}
+}
+
+func TestAdvisorJobClientErrors(t *testing.T) {
+	ctx := context.Background()
+
+	// No endpoint configured.
+	if _, err := warlock.New().Submit(ctx, []byte("{}")); !errors.Is(err, warlock.ErrNoEndpoint) {
+		t.Fatalf("err = %v, want ErrNoEndpoint", err)
+	}
+
+	srv := warlock.NewServer(warlock.ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	adv := warlock.New(warlock.WithEndpoint(ts.URL))
+
+	// A bad document surfaces the envelope's code and message.
+	_, err := adv.Submit(ctx, []byte("{nope"))
+	var apiErr *warlock.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != 400 || apiErr.Code != "bad_request" || apiErr.Message == "" {
+		t.Fatalf("APIError: %+v", apiErr)
+	}
+	if apiErr.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+}

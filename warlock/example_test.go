@@ -1,15 +1,16 @@
 package warlock_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/warlock"
 )
 
-// ExampleAdvise runs the advisor end to end on the APB-1 preset and
-// prints the recommended fragmentation.
-func ExampleAdvise() {
+// ExampleAdvisor_Advise runs the advisor end to end on the APB-1 preset
+// and prints the recommended fragmentation.
+func ExampleAdvisor_Advise() {
 	schema := warlock.APB1Schema(1_000_000)
 	mix, err := warlock.APB1Mix(schema)
 	if err != nil {
@@ -18,7 +19,8 @@ func ExampleAdvise() {
 	d := warlock.DefaultDisk(16)
 	d.PrefetchPages = 8
 	d.BitmapPrefetchPages = 8
-	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: d})
+	adv := warlock.New()
+	res, err := adv.Advise(context.Background(), &warlock.Input{Schema: schema, Mix: mix, Disk: d})
 	if err != nil {
 		log.Fatal(err)
 	}

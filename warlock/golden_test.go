@@ -1,6 +1,7 @@
 package warlock_test
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -55,7 +56,7 @@ func TestGoldenAPB1(t *testing.T) {
 	disk := warlock.DefaultDisk(16)
 	disk.PrefetchPages = 8
 	disk.BitmapPrefetchPages = 8
-	res, err := warlock.Advise(&warlock.Input{Schema: schema, Mix: mix, Disk: disk})
+	res, err := warlock.New().Advise(context.Background(), &warlock.Input{Schema: schema, Mix: mix, Disk: disk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestGoldenAPB1(t *testing.T) {
 // examples/skewed-retail: strong Zipf skew on articles and stores, which
 // must flip the allocation rule to greedy size-based.
 func TestGoldenSkewedRetail(t *testing.T) {
-	res, err := warlock.Advise(skewedRetailInput(t))
+	res, err := warlock.New().Advise(context.Background(), skewedRetailInput(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +83,13 @@ func TestGoldenSkewedRetail(t *testing.T) {
 func TestGoldenDeterministicAcrossParallelism(t *testing.T) {
 	in := skewedRetailInput(t)
 	in.Parallelism = 1
-	serial, err := warlock.Advise(in)
+	serial, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	in2 := *in
 	in2.Parallelism = 7
-	parallel, err := warlock.Advise(&in2)
+	parallel, err := warlock.New().Advise(context.Background(), &in2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestGoldenPrunedVsUnpruned(t *testing.T) {
 			unpruned.Parallelism = par
 			unpruned.DisablePruning = true
 
-			rp, err := warlock.Advise(pruned)
+			rp, err := warlock.New().Advise(context.Background(), pruned)
 			if err != nil {
 				t.Fatalf("%s par=%d pruned: %v", tc.name, par, err)
 			}
-			ru, err := warlock.Advise(unpruned)
+			ru, err := warlock.New().Advise(context.Background(), unpruned)
 			if err != nil {
 				t.Fatalf("%s par=%d unpruned: %v", tc.name, par, err)
 			}

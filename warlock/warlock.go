@@ -11,12 +11,19 @@
 //
 // Quickstart:
 //
+//	adv := warlock.New()
 //	schema := warlock.APB1Schema(24_000_000)
 //	mix, _ := warlock.APB1Mix(schema)
-//	res, err := warlock.Advise(&warlock.Input{
+//	res, err := adv.Advise(ctx, &warlock.Input{
 //	    Schema: schema, Mix: mix, Disk: warlock.DefaultDisk(64),
 //	})
 //	fmt.Println(warlock.Report(res))
+//
+// New returns an Advisor, the context-first front door: options set the
+// cross-call configuration once (WithEvalCache, WithParallelism,
+// WithSweepWorkers, WithResponseTarget, WithEndpoint), and every method
+// takes a context. The older top-level Advise/Sweep functions remain as
+// thin deprecated wrappers with bit-identical outputs.
 //
 // # Concurrency
 //
@@ -34,17 +41,19 @@
 //
 // # What-if sweeps
 //
-// Sweep evaluates a declarative grid of what-if scenarios (disk counts,
-// query-mix reweightings, skew settings, prefetch granules, allocation
-// schemes) against one base Input through a shared, memoizing pipeline:
+// Advisor.Sweep evaluates a declarative grid of what-if scenarios (disk
+// counts, query-mix reweightings, skew settings, prefetch granules,
+// allocation schemes) against one base Input through a shared,
+// memoizing pipeline:
 //
-//	rep, _ := warlock.Sweep(in, &warlock.SweepGrid{
+//	adv := warlock.New(warlock.WithResponseTarget(500 * time.Millisecond))
+//	rep, _ := adv.Sweep(ctx, in, &warlock.SweepGrid{
 //	    Disks: []int{16, 32, 64},
 //	    MixScales: []warlock.SweepMixScale{
 //	        {Name: "base"},
 //	        {Name: "boost-Q3", Factors: map[string]float64{"Q3-store-month": 8}},
 //	    },
-//	}, warlock.SweepOptions{ResponseTarget: 500 * time.Millisecond})
+//	})
 //	rep.Table(os.Stdout)
 //	best := rep.Best() // smallest disk count meeting the target
 //
@@ -75,10 +84,50 @@
 // evaluation survives until the last waiter is gone. Under overload the
 // service degrades predictably instead of queueing without bound:
 // MaxQueue caps the number of evaluations waiting for a slot (excess
-// requests are shed with 503 + Retry-After) and QueueTimeout bounds the
-// wait itself. ServerMetrics counts timeouts, shed requests and
-// departed clients, and /metrics additionally exposes per-endpoint
-// stage latency histograms (parse, queue, evaluate, serialize, total).
+// requests are shed with 503 + Retry-After computed from the live
+// queue backlog) and QueueTimeout bounds the wait itself. ServerMetrics
+// counts timeouts, shed requests and departed clients, and /metrics
+// additionally exposes per-endpoint stage latency histograms (parse,
+// queue, evaluate, serialize, total).
+//
+// # Asynchronous jobs
+//
+// Work too large for a synchronous request runs as a job: POST /v1/jobs
+// takes the same advise/sweep documents, answers 202 with a job id (the
+// document's canonical fingerprint — identical submissions coalesce),
+// and evaluates in the background on a bounded worker pool that shares
+// the evaluation semaphore without ever exhausting it. GET
+// /v1/jobs/{id} reports live progress (scenarios completed/total, prune
+// stats, stage timings), GET /v1/jobs/{id}/result returns the finished
+// body byte-identical to the synchronous response, DELETE cancels. With
+// ServerConfig.JobsDir set, submissions and per-scenario checkpoints
+// persist to disk and a restarted service resumes interrupted sweeps
+// from their last completed scenario. The Advisor doubles as the
+// client: construct it with WithEndpoint and use Submit, JobStatus,
+// JobResult, CancelJob and WaitJob.
+//
+// # Error codes
+//
+// Service errors default to the legacy {"error": "message"} JSON body;
+// clients that send Accept: application/json receive the structured
+// envelope {"error": {"code", "message", "retry_after_seconds"}}. The
+// codes:
+//
+//	bad_request        400  document failed to parse or validate
+//	oversized          413  request body exceeds the configured limit
+//	unfeasible         422  advisory ran; no candidate was feasible
+//	deadline           504  request exceeded RequestTimeout
+//	client_gone        408  client disconnected before completion
+//	shed               503  evaluation queue full (Retry-After set)
+//	queue_timeout      503  no evaluation slot within QueueTimeout
+//	shutdown           503  server draining
+//	retry              503  transient coalescing race; retry immediately
+//	method_not_allowed 405  wrong HTTP method
+//	not_found          404  unknown job id
+//	not_ready          409  job result requested before completion
+//	cancelled          410  job was cancelled
+//	jobs_full          503  job store full of unfinished jobs
+//	internal           500  unexpected server-side failure
 //
 // The package re-exports the stable subset of the internal building
 // blocks; advanced users may also assemble the pipeline from the pieces
@@ -208,18 +257,25 @@ type (
 // to independent Advise calls on the scenario inputs — the sweep only
 // removes repeated work (an N-scenario grid costs far less than N cold
 // advisories).
+//
+// Deprecated: use New(...).Sweep (or SweepWithOptions for explicit
+// per-call options), which takes a context. Outputs are bit-identical.
 func Sweep(base *Input, grid *SweepGrid, opts SweepOptions) (*SweepReport, error) {
 	return sweep.Run(context.Background(), base, grid, opts)
 }
 
 // SweepContext is Sweep with cancellation: on ctx cancellation all
 // scenario pipelines drain cleanly and the context's error is returned.
+//
+// Deprecated: use New(...).SweepWithOptions. Outputs are bit-identical.
 func SweepContext(ctx context.Context, base *Input, grid *SweepGrid, opts SweepOptions) (*SweepReport, error) {
 	return sweep.Run(ctx, base, grid, opts)
 }
 
 // SweepScenarios expands a grid into its materialized scenarios without
 // evaluating them — useful to inspect or cost a sweep before running it.
+//
+// Deprecated: use New(...).Scenarios. Outputs are bit-identical.
 func SweepScenarios(base *Input, grid *SweepGrid) ([]SweepScenario, error) {
 	return sweep.Expand(base, grid)
 }
@@ -234,13 +290,14 @@ type (
 	// Server is the embeddable long-running advisory service (an
 	// http.Handler): POST /v1/advise and /v1/sweep with response
 	// caching, request coalescing and per-schema evaluation-state
-	// sharing, plus /healthz and /metrics. The warlockd binary is a
-	// thin wrapper around it.
+	// sharing, the asynchronous job API under /v1/jobs, plus /healthz
+	// and /metrics. The warlockd binary is a thin wrapper around it.
 	Server = server.Server
 	// ServerConfig tunes the advisory service: cache sizes, evaluation
 	// concurrency, request body limit, the per-request deadline
-	// (RequestTimeout), overload bounds (MaxQueue, QueueTimeout) and
-	// slow-request logging (SlowRequestThreshold, Logger).
+	// (RequestTimeout), overload bounds (MaxQueue, QueueTimeout),
+	// slow-request logging (SlowRequestThreshold, Logger) and the
+	// asynchronous job store (JobTTL, MaxJobs, MaxRunningJobs, JobsDir).
 	ServerConfig = server.Config
 	// ServerMetrics is a snapshot of the service counters (requests,
 	// cache hits/misses, coalesced requests, evaluations, in-flight,
@@ -280,12 +337,17 @@ const (
 // Advise runs the full WARLOCK pipeline: candidate generation, threshold
 // exclusion, parallel cost-model evaluation (Input.Parallelism workers)
 // and streaming twofold ranking.
+//
+// Deprecated: use New(...).Advise, which takes a context. Outputs are
+// bit-identical.
 func Advise(in *Input) (*Result, error) { return core.Advise(in) }
 
 // AdviseContext is Advise with cancellation: when ctx is cancelled the
 // pipeline stages drain cleanly, no goroutine outlives the call, and the
 // context's error is returned. Results are identical to Advise for every
 // Parallelism value.
+//
+// Deprecated: use New(...).Advise. Outputs are bit-identical.
 func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	return core.AdviseContext(ctx, in)
 }

@@ -25,7 +25,7 @@ func smallInput(t *testing.T) *warlock.Input {
 
 func TestPublicPipeline(t *testing.T) {
 	in := smallInput(t)
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPublicEnumerate(t *testing.T) {
 
 func TestPublicSimulation(t *testing.T) {
 	in := smallInput(t)
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPublicMultiFact(t *testing.T) {
 
 func TestPublicRangedDesign(t *testing.T) {
 	in := smallInput(t)
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestPublicRangedDesign(t *testing.T) {
 
 func TestPublicMultiUserEstimate(t *testing.T) {
 	in := smallInput(t)
-	res, err := warlock.Advise(in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,13 +194,13 @@ func TestPublicSkewHelpers(t *testing.T) {
 func TestPublicAdviseContextAndParallelism(t *testing.T) {
 	in := smallInput(t)
 	in.Parallelism = 2
-	res, err := warlock.AdviseContext(context.Background(), in)
+	res, err := warlock.New().Advise(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	serial := smallInput(t)
 	serial.Parallelism = 1
-	want, err := warlock.Advise(serial)
+	want, err := warlock.New().Advise(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestPublicAdviseContextAndParallelism(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := warlock.AdviseContext(ctx, smallInput(t)); !errors.Is(err, context.Canceled) {
+	if _, err := warlock.New().Advise(ctx, smallInput(t)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled advise: %v", err)
 	}
 }
