@@ -52,24 +52,47 @@ var experiments = []experiment{
 }
 
 func main() {
+	// All work happens in run so deferred cleanup (profile flushing) runs
+	// before os.Exit, which skips defers.
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) (code int) {
 	fs := flag.NewFlagSet("warlock-bench", flag.ContinueOnError)
 	rows := fs.Int64("rows", 4_000_000, "fact table rows")
 	disks := fs.Int("disks", 64, "number of disks")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	list := fs.Bool("list", false, "list experiments and exit")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.name, e.desc)
 		}
-		return
+		return 0
 	}
 	args := fs.Args()
 	if len(args) != 1 {
 		fmt.Fprintln(os.Stderr, "usage: warlock-bench [-rows N] [-disks D] <e1..e14|f1|f2|all>")
-		os.Exit(2)
+		return 2
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := startProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "warlock-bench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "warlock-bench:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 	p := params{rows: *rows, disks: *disks, seed: *seed}
 	names := []string{args[0]}
@@ -84,15 +107,16 @@ func main() {
 		e, ok := find(n)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", n)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
 		if err := e.run(p); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
 func find(name string) (experiment, bool) {

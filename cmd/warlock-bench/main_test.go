@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runQuiet invokes run with stdout discarded and returns its exit code.
+func runQuiet(t *testing.T, argv ...string) int {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, r)
+		close(done)
+	}()
+	code := run(argv)
+	w.Close()
+	os.Stdout = old
+	<-done
+	return code
+}
+
+func TestRunList(t *testing.T) {
+	if code := runQuiet(t, "-list"); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := runQuiet(t, "nope"); code != 2 {
+		t.Fatalf("unknown experiment exited %d, want 2", code)
+	}
+}
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code := runQuiet(t, "-rows", "200000", "-disks", "8",
+		"-cpuprofile", cpu, "-memprofile", mem, "e6")
+	if code != 0 {
+		t.Fatalf("profiled e6 exited %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

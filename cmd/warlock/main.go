@@ -50,7 +50,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("warlock", flag.ContinueOnError)
 	var (
 		configPath    = fs.String("config", "", "JSON configuration file (see -emit-example)")
@@ -73,9 +73,23 @@ func run(ctx context.Context, args []string) error {
 		sweepJSON    = fs.String("sweep-json", "", "write the machine-readable sweep report to this JSON file")
 		sweepWorkers = fs.Int("sweep-workers", 0, "concurrent scenario advisories (0 = GOMAXPROCS)")
 		emitSweep    = fs.Bool("emit-sweep-example", false, "print an example sweep definition and exit")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, perr := startProfiles(*cpuProfile, *memProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); err == nil {
+				err = serr
+			}
+		}()
 	}
 
 	if *emitExample {

@@ -284,3 +284,29 @@ func TestRunParallelismFlagDeterministic(t *testing.T) {
 		t.Fatal("-parallelism changed the report output")
 	}
 }
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8",
+		"-cpuprofile", cpu, "-memprofile", mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunCPUProfileUnwritable(t *testing.T) {
+	if _, err := capture(t, "-apb1", "-rows", "500000", "-disks", "8",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")); err == nil {
+		t.Fatal("unwritable cpu profile path should fail")
+	}
+}

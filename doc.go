@@ -34,6 +34,27 @@
 // collector's admission cutoff, and provable losers skip the full
 // evaluation; results are bit-identical with pruning on or off
 // (Input.DisablePruning), and Result.PruneStats reports the work saved.
+//
+// # Concurrency and performance
+//
+// Candidate pricing is organized so the advisor scales with cores without
+// ever changing a bit of output. The evaluation hot path runs on a
+// size-class cost kernel: each candidate geometry's fragments are grouped
+// once into distinct (rows, pages) size classes (fragment.SizeClasses),
+// the transcendental-heavy per-fragment cost math (Cardenas' formula,
+// service times) is computed once per (query class, size class), and the
+// per-fragment accumulation folds the precomputed addends in exact
+// logical fragment order — bit-identical to the naive loop it replaced
+// and O(distinct sizes) instead of O(fragments). The granule search and
+// the branch-and-bound floor share the same dedup. Around the kernel,
+// core's pipeline dispatches candidates to the worker pool in chunks,
+// each worker owns its evaluation scratch for its whole lifetime (no
+// pool contention, no cross-CPU buffer migration), and idle workers park
+// capacity tokens that a worker pricing a huge candidate borrows to
+// shard the kernel fill (costmodel.Sharder) — so a few giant candidates
+// do not serialize the tail of a run. Every per-candidate computation is
+// pure and deterministically seeded; Input.Parallelism changes wall-clock
+// time only.
 // bench_test.go in this directory hosts one benchmark per experiment in
 // EXPERIMENTS.md; cmd/warlock-bench regenerates the experiment tables.
 package repro

@@ -27,13 +27,33 @@ import (
 // the collector's bounded heap fills, each worker first compares the
 // candidate's admissible cost lower bound (costmodel.LowerBound — no
 // geometry, no allocation) against the heap's published admission cutoff
-// and skips the evaluation of provable losers. Every per-candidate
-// computation is pure and deterministically seeded, all ordered outputs
-// are keyed by the candidate's enumeration index, and skipping is only
-// ever applied to candidates that could not have influenced any output,
-// so the Result is bit-for-bit identical for any worker count and with
-// pruning on or off — Parallelism and DisablePruning only change
-// wall-clock time (PruneStats records the diagnostic split).
+// and skips the evaluation of provable losers.
+//
+// The evaluation stage is organized for throughput on three levels:
+//
+//   - Size-class kernel: the evaluator prices each distinct fragment
+//     (rows, pages) size once per query class and folds the results per
+//     fragment (costmodel kernel.go) — the transcendental-heavy math runs
+//     O(distinct sizes), not O(fragments).
+//   - Per-worker scratch + chunked dispatch: every worker owns one
+//     costmodel.Scratch for its lifetime (no sync.Pool traffic, buffers
+//     stay hot in one goroutine), and candidates travel through the work
+//     channel in chunks so channel operations amortize across many
+//     candidates instead of costing one synchronization each.
+//   - Intra-candidate sharding: workers park an idle token
+//     (costmodel.Sharder) while blocked on the work channel; a worker
+//     pricing a candidate with a huge size-class table borrows parked
+//     tokens and splits the kernel fill across that many extra
+//     goroutines, so a few giant candidates near the end of the stream
+//     no longer serialize the run.
+//
+// Every per-candidate computation is pure and deterministically seeded,
+// all ordered outputs are keyed by the candidate's enumeration index, and
+// skipping is only ever applied to candidates that could not have
+// influenced any output, so the Result is bit-for-bit identical for any
+// worker count, chunking, sharding, and with pruning on or off —
+// Parallelism and DisablePruning only change wall-clock time (PruneStats
+// records the diagnostic split).
 
 // workItem is one surviving candidate entering the evaluation stage.
 type workItem struct {
@@ -54,6 +74,26 @@ type evalResult struct {
 // channel buffers only cost memory — no advisory has that many cores to
 // use.
 const maxWorkers = 1024
+
+// maxEvalChunk caps the dispatch chunk: candidates enter the evaluation
+// stage in slices of up to this many, so the per-candidate channel cost
+// amortizes away on big enumerations.
+const maxEvalChunk = 64
+
+// evalChunkSize picks the dispatch chunk for an enumeration of at most
+// maxCands candidates over `workers` workers: large enough to amortize
+// channel synchronization, small enough that every worker still sees
+// several chunks (load balance on small candidate sets).
+func evalChunkSize(maxCands, workers int) int {
+	c := maxCands / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > maxEvalChunk {
+		return maxEvalChunk
+	}
+	return c
+}
 
 // parallelism resolves the worker count: explicit value, or GOMAXPROCS,
 // clamped to [1, min(maxWorkers, maxCands)] so absurd Parallelism values
@@ -124,8 +164,9 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	// pre-check, so a survivor can never join Excluded after evaluation).
 	pruneOn := !in.DisablePruning && !in.Rank.RequireCapacity && th.MaxSizeCV == 0
 
-	work := make(chan workItem, 2*workers)
-	out := make(chan evalResult, 2*workers)
+	chunk := evalChunkSize(maxCands, workers)
+	work := make(chan []workItem, 2*workers)
+	out := make(chan evalResult, 2*workers*chunk)
 
 	// The collector is shared between stage 3 (Add/AddSkipped, single
 	// goroutine) and the workers, which only read the atomically
@@ -134,12 +175,28 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 
 	// Stage 1: enumerate + prune. Runs in its own goroutine so candidates
 	// stream into the workers while later ones are still being generated.
-	// Pre-check violations are recorded here in enumeration order; the
-	// main goroutine reads them only after the pipeline fully drains.
+	// Survivors are dispatched in chunks (one channel operation per
+	// `chunk` candidates); each chunk slice is freshly allocated and
+	// handed off — the receiving worker owns it. Pre-check violations are
+	// recorded here in enumeration order; the main goroutine reads them
+	// only after the pipeline fully drains.
 	var preVios []fragment.Violation
 	survivors := 0
 	go func() {
 		defer close(work)
+		batch := make([]workItem, 0, chunk)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			select {
+			case work <- batch:
+				batch = make([]workItem, 0, chunk)
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
 		for f, v := range source {
 			if ctx.Err() != nil {
 				return
@@ -148,64 +205,77 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 				preVios = append(preVios, *v)
 				continue
 			}
-			item := workItem{idx: survivors, frag: f}
+			batch = append(batch, workItem{idx: survivors, frag: f})
 			survivors++
-			select {
-			case work <- item:
-			case <-ctx.Done():
+			if len(batch) == chunk && !flush() {
 				return
 			}
 		}
+		flush()
 	}()
 
 	// Stage 2: parallel evaluation + post-evaluation threshold check. The
 	// shared Evaluator is goroutine-safe and every evaluation is pure, so
-	// worker scheduling cannot influence any result. After cancellation
-	// the workers keep draining `work` without evaluating, so the
-	// producer never blocks on a full channel.
+	// worker scheduling cannot influence any result. Each worker owns one
+	// Scratch for its lifetime and parks an idle token with the shared
+	// Sharder while blocked on the work channel (a worker that exits
+	// leaves its token parked — exited workers are permanently idle
+	// capacity for intra-candidate sharding). After cancellation the
+	// workers keep draining `work` without evaluating, so the producer
+	// never blocks on a full channel.
+	sharder := costmodel.NewSharder(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for item := range work {
-				if ctx.Err() != nil {
-					continue
+			sc := eval.NewScratch(sharder)
+			for {
+				sharder.Park()
+				batch, ok := <-work
+				if !ok {
+					return
 				}
-				r := evalResult{idx: item.idx}
-				if pruneOn {
-					if cut, ok := coll.Cutoff(); ok {
-						if lbCost, lbResp, bounded := eval.LowerBound(item.frag); bounded &&
-							!cut.Admits(lbCost, lbResp, item.frag.Key()) {
-							// The bound proves the candidate cannot beat the
-							// worst retained evaluation (and the cutoff only
-							// tightens), so skipping it cannot change any
-							// output. Unbounded candidates (e.g. share-vector
-							// failures) always fall through to evaluation so
-							// their failure modes are reproduced exactly.
-							r.skipped = true
-							select {
-							case out <- r:
-							case <-ctx.Done():
+				sharder.Unpark()
+				for _, item := range batch {
+					if ctx.Err() != nil {
+						continue
+					}
+					r := evalResult{idx: item.idx}
+					if pruneOn {
+						if cut, ok := coll.Cutoff(); ok {
+							if lbCost, lbResp, bounded := eval.LowerBound(item.frag); bounded &&
+								!cut.Admits(lbCost, lbResp, item.frag.Key()) {
+								// The bound proves the candidate cannot beat the
+								// worst retained evaluation (and the cutoff only
+								// tightens), so skipping it cannot change any
+								// output. Unbounded candidates (e.g. share-vector
+								// failures) always fall through to evaluation so
+								// their failure modes are reproduced exactly.
+								r.skipped = true
+								select {
+								case out <- r:
+								case <-ctx.Done():
+								}
+								continue
 							}
-							continue
 						}
 					}
-				}
-				switch ev, err := eval.Evaluate(item.frag); {
-				case err != nil:
-					r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
-				default:
-					// Post-evaluation threshold check (size-based
-					// exclusions under skew that the cheap pre-check
-					// could not decide).
-					if r.vio = th.Check(ev.Geometry); r.vio == nil {
-						r.ev = ev
+					switch ev, err := eval.EvaluateWith(sc, item.frag); {
+					case err != nil:
+						r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
+					default:
+						// Post-evaluation threshold check (size-based
+						// exclusions under skew that the cheap pre-check
+						// could not decide).
+						if r.vio = th.Check(ev.Geometry); r.vio == nil {
+							r.ev = ev
+						}
 					}
-				}
-				select {
-				case out <- r:
-				case <-ctx.Done():
+					select {
+					case out <- r:
+					case <-ctx.Done():
+					}
 				}
 			}
 		}()

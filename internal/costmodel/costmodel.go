@@ -330,39 +330,70 @@ const (
 func Outcomes(plan *ClassPlan, mapping skew.Mapping) [][][]int {
 	out := make([][][]int, len(plan.Dims))
 	for i, dp := range plan.Dims {
-		switch dp.Case {
-		case CoarserEq:
-			sets := make([][]int, dp.QueryCard)
-			for w := 0; w < dp.QueryCard; w++ {
-				var hit []int
-				for v := 0; v < dp.FragCard; v++ {
-					if Ancestor(v, dp.FragCard, dp.QueryCard, mapping) == w {
-						hit = append(hit, v)
-					}
-				}
-				sets[w] = hit
-			}
-			out[i] = sets
-		case Finer:
-			// Every query value maps to one fragment value; grouping the
-			// cq values by their ancestor yields cf outcomes of equal
-			// probability 1/cf (valid when QueryCard is a multiple of
-			// FragCard; otherwise probabilities differ by O(1/cq) and the
-			// uniform grouping is a close approximation).
-			sets := make([][]int, dp.FragCard)
-			for v := 0; v < dp.FragCard; v++ {
-				sets[v] = []int{v}
-			}
-			out[i] = sets
-		default: // Unreferenced
-			all := make([]int, dp.FragCard)
-			for v := range all {
-				all[v] = v
-			}
-			out[i] = [][]int{all}
-		}
+		out[i] = dimOutcomes(dp, mapping)
 	}
 	return out
+}
+
+// dimOutcomes builds one fragmentation attribute's outcome sets. The
+// result depends only on (Case, FragCard, QueryCard) and the mapping, so
+// the Evaluator memoizes it per key (dimOutcomeSets); the returned slices
+// are treated as read-only by every consumer.
+func dimOutcomes(dp DimPlan, mapping skew.Mapping) [][]int {
+	switch dp.Case {
+	case CoarserEq:
+		sets := make([][]int, dp.QueryCard)
+		for w := 0; w < dp.QueryCard; w++ {
+			var hit []int
+			for v := 0; v < dp.FragCard; v++ {
+				if Ancestor(v, dp.FragCard, dp.QueryCard, mapping) == w {
+					hit = append(hit, v)
+				}
+			}
+			sets[w] = hit
+		}
+		return sets
+	case Finer:
+		// Every query value maps to one fragment value; grouping the
+		// cq values by their ancestor yields cf outcomes of equal
+		// probability 1/cf (valid when QueryCard is a multiple of
+		// FragCard; otherwise probabilities differ by O(1/cq) and the
+		// uniform grouping is a close approximation).
+		sets := make([][]int, dp.FragCard)
+		for v := 0; v < dp.FragCard; v++ {
+			sets[v] = []int{v}
+		}
+		return sets
+	default: // Unreferenced
+		all := make([]int, dp.FragCard)
+		for v := range all {
+			all[v] = v
+		}
+		return [][]int{all}
+	}
+}
+
+// dimOutcomeSets returns the memoized outcome sets of one dimension plan.
+// Hot-path lookups take the read lock only; misses build outside any lock
+// and the first stored value wins, so every caller sees one canonical
+// (read-only) table per key.
+func (e *Evaluator) dimOutcomeSets(dp DimPlan) [][]int {
+	key := outcomeKey{kase: dp.Case, fragCard: dp.FragCard, queryCard: dp.QueryCard}
+	e.outMu.RLock()
+	sets, ok := e.outcomes[key]
+	e.outMu.RUnlock()
+	if ok {
+		return sets
+	}
+	sets = dimOutcomes(dp, e.cfg.Mapping)
+	e.outMu.Lock()
+	if old, ok := e.outcomes[key]; ok {
+		sets = old
+	} else {
+		e.outcomes[key] = sets
+	}
+	e.outMu.Unlock()
+	return sets
 }
 
 // Ancestor maps a value at a fine level (cardinality fineCard) to its
@@ -383,11 +414,17 @@ func Ancestor(v, fineCard, coarseCard int, m skew.Mapping) int {
 // likely hit patterns: exactly when the outcome space is tractable,
 // otherwise by deterministic sampling seeded with sampleSeed (derived
 // from the candidate and class, see SampleSeed — never from the clock).
-// Returns seconds and whether the result is exact. sc supplies the
-// pooled cursor/accumulator buffers; sc.rbusy must be all-zero on entry
-// (the pattern evaluation restores the zeros it overwrites).
-func expectedMaxResponse(cfg *Config, plan *ClassPlan, pl *alloc.Placement, tv []float64, sampleSeed int64, sc *evalScratch) (float64, bool) {
-	outcomes := Outcomes(plan, cfg.Mapping)
+// Returns seconds and whether the result is exact. Per-fragment service
+// times come from the size-class table (cls indexed through sz.ClassOf);
+// the per-dimension outcome sets come from the evaluator's memo. sc
+// supplies the pooled cursor/accumulator buffers; sc.rbusy must be
+// all-zero on entry (the pattern evaluation restores the zeros it
+// overwrites).
+func (e *Evaluator) expectedMaxResponse(plan *ClassPlan, pl *alloc.Placement, sz *fragment.SizeClasses, cls []sizeClassCost, sampleSeed int64, sc *evalScratch) (float64, bool) {
+	outcomes := sc.outs[:len(plan.Dims)]
+	for i, dp := range plan.Dims {
+		outcomes[i] = e.dimOutcomeSets(dp)
+	}
 	combos := 1
 	hitsPerCombo := 1
 	for _, sets := range outcomes {
@@ -415,10 +452,11 @@ func expectedMaxResponse(cfg *Config, plan *ClassPlan, pl *alloc.Placement, tv [
 				vals[i] = sets[i][idx[i]]
 			}
 			fid := plan.fragID(vals)
-			if busy[pl.DiskOf[fid]] == 0 && tv[fid] > 0 {
+			tv := cls[sz.ClassOf[fid]].tv
+			if busy[pl.DiskOf[fid]] == 0 && tv > 0 {
 				touched = append(touched, pl.DiskOf[fid])
 			}
-			busy[pl.DiskOf[fid]] += tv[fid]
+			busy[pl.DiskOf[fid]] += tv
 			i := len(idx) - 1
 			for ; i >= 0; i-- {
 				idx[i]++
@@ -548,18 +586,6 @@ func cardenas(G, k float64) float64 {
 // configured explicitly.
 const PrefetchCap = 256
 
-func avgRows(g *fragment.Geometry) float64 {
-	n := g.NumFragments()
-	if n == 0 {
-		return 0
-	}
-	var sum float64
-	for _, r := range g.Rows {
-		sum += r
-	}
-	return sum / float64(n)
-}
-
 // allocationPages returns the per-fragment allocation weight: fact pages
 // plus the co-located bitmap pages of every index (slices packed per
 // fragment).
@@ -590,8 +616,9 @@ func EvaluateAll(cfg *Config, cands []*fragment.Fragmentation) (evals []*Evaluat
 		failures = append(failures, err)
 		return nil, failures
 	}
+	sc := e.NewScratch(nil)
 	for _, f := range cands {
-		ev, err := e.Evaluate(f)
+		ev, err := e.EvaluateWith(sc, f)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("%s: %w", f.Name(cfg.Schema), err))
 			continue

@@ -36,13 +36,30 @@ type Evaluator struct {
 	shares [][]func() ([]float64, error)
 	// capacityPages is the disk pool's total page capacity.
 	capacityPages int64
-	// scratch pools the per-candidate evaluation buffers (service times,
-	// per-disk busy accumulators, hit-pattern cursors, class plans) so
-	// the hot path stays allocation-free across candidates. Scratch never
-	// escapes into an Evaluation; pooling cannot change results.
+	// scratch pools the per-candidate evaluation buffers (size-class cost
+	// tables, per-disk busy accumulators, hit-pattern cursors, class
+	// plans) for plain Evaluate calls; pipeline workers bypass the pool
+	// with a worker-owned Scratch (NewScratch/EvaluateWith). Scratch
+	// never escapes into an Evaluation; reuse cannot change results.
 	scratch sync.Pool
+	// outMu/outcomes memoize the per-dimension hit-outcome sets of the
+	// response-time expectation. The sets depend only on (DimCase,
+	// FragCard, QueryCard) under the evaluator's fixed mapping, so a
+	// handful of distinct tables serve every (candidate, class) pair —
+	// rebuilding them per evaluation used to dominate the whole pipeline
+	// (O(fragCard·queryCard) appends and Ancestor calls per class). The
+	// cached sets are read-only; the map is read under RLock on the hot
+	// path, so lookups stay allocation-free.
+	outMu    sync.RWMutex
+	outcomes map[outcomeKey][][]int
 	// boundStateHolder carries the lazily built LowerBound tables.
 	boundStateHolder
+}
+
+// outcomeKey identifies one dimension's outcome-set table.
+type outcomeKey struct {
+	kase                DimCase
+	fragCard, queryCard int
 }
 
 // NewEvaluator validates the configuration and precomputes the shared
@@ -55,6 +72,7 @@ func NewEvaluator(cfg *Config) (*Evaluator, error) {
 		cfg:           cfg,
 		weights:       cfg.Mix.NormalizedWeights(),
 		capacityPages: cfg.Disk.CapacityBytes / int64(cfg.Disk.PageSize),
+		outcomes:      make(map[outcomeKey][][]int),
 	}
 	e.shares = make([][]func() ([]float64, error), len(cfg.Schema.Dimensions))
 	for d := range cfg.Schema.Dimensions {
@@ -119,8 +137,24 @@ func (e *Evaluator) geometry(f *fragment.Fragmentation) (*fragment.Geometry, err
 
 // Evaluate runs the full model for one candidate. It is goroutine-safe:
 // concurrent evaluations of different (or identical) candidates on the
-// same Evaluator produce identical results to sequential ones.
+// same Evaluator produce identical results to sequential ones. Callers
+// pricing long candidate streams from dedicated worker goroutines should
+// prefer EvaluateWith with a worker-owned Scratch.
 func (e *Evaluator) Evaluate(f *fragment.Fragmentation) (*Evaluation, error) {
+	sc := e.getScratch(e.cfg.Disk.Disks, len(f.Attrs()), len(e.cfg.Mix.Classes))
+	defer e.scratch.Put(sc)
+	return e.evaluate(f, sc)
+}
+
+// EvaluateWith is Evaluate using a worker-owned Scratch (see NewScratch):
+// identical results, no pool traffic. The Scratch must not be shared
+// between goroutines concurrently.
+func (e *Evaluator) EvaluateWith(sc *Scratch, f *fragment.Fragmentation) (*Evaluation, error) {
+	sc.es.resize(e.cfg.Disk.Disks, len(f.Attrs()), len(e.cfg.Mix.Classes))
+	return e.evaluate(f, sc.es)
+}
+
+func (e *Evaluator) evaluate(f *fragment.Fragmentation, sc *evalScratch) (*Evaluation, error) {
 	g, err := e.Geometry(f)
 	if err != nil {
 		return nil, err
@@ -129,10 +163,10 @@ func (e *Evaluator) Evaluate(f *fragment.Fragmentation) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.evaluateWithGeometry(f, g, scheme)
+	return e.evaluateWithGeometry(f, g, scheme, sc)
 }
 
-func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme) (*Evaluation, error) {
+func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.Geometry, scheme *bitmap.Scheme, sc *evalScratch) (*Evaluation, error) {
 	cfg := e.cfg
 	ev := &Evaluation{Frag: f, Geometry: g, Scheme: scheme}
 	ev.BitmapPagesTotal = scheme.SchemePages(g)
@@ -154,10 +188,8 @@ func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.
 	ev.Placement = pl
 	ev.CapacityOK = pl.FitsCapacity(e.capacityPages)
 
-	// One pooled scratch per candidate: class plans are derived once and
-	// shared by the granule search and the per-class pricing below.
-	sc := e.getScratch(g.NumFragments(), pl.Disks, len(f.Attrs()), len(cfg.Mix.Classes))
-	defer e.scratch.Put(sc)
+	// Class plans are derived once into the scratch and shared by the
+	// granule search and the per-class pricing below.
 	for i := range cfg.Mix.Classes {
 		planClassInto(&sc.plans[i], cfg.Schema, f, scheme, &cfg.Mix.Classes[i])
 	}
@@ -183,45 +215,38 @@ func (e *Evaluator) evaluateWithGeometry(f *fragment.Fragmentation, g *fragment.
 
 // evaluateClass computes the ClassCost of one class.
 func (e *Evaluator) evaluateClass(f *fragment.Fragmentation, g *fragment.Geometry, pl *alloc.Placement, plan *ClassPlan, factGranule, bmGranule int, sc *evalScratch) ClassCost {
-	cfg := e.cfg
 	c := plan.Class
 	cc := ClassCost{Class: c, DiskBusy: make([]time.Duration, pl.Disks)}
 	cc.HitProb = plan.HitProb
 	n := g.NumFragments()
 	cc.FragmentsHit = plan.HitProb * float64(n)
 
-	// Per-fragment service time if hit, shared by the expectation terms
-	// below and by the hit-pattern enumeration. tv was zeroed when the
-	// scratch was acquired; every Pages>0 entry is overwritten per class
-	// and the Pages==0 entries stay zero, so reuse across the candidate's
-	// classes is exact.
-	tv := sc.tv[:n]
+	// Size-class kernel: FragmentCost/Seconds once per distinct
+	// (rows, pages) pair, then a per-fragment fold of the precomputed
+	// addends in exact logical fragment order — same values, same
+	// summation order, bit-identical to the naive per-fragment loop
+	// (zero-page classes contribute +0.0, a bitwise no-op on the
+	// non-negative accumulators; cf. kernel_test.go).
+	sz := g.SizeClasses()
+	cls := e.priceSizeClasses(plan, g.PageSize, sz, factGranule, bmGranule, sc)
 	busy := sc.busy[:pl.Disks]
 	clear(busy)
 	var totalBusy float64
-	for v := int64(0); v < n; v++ {
-		rows := g.Rows[v]
-		b := g.Pages[v]
-		if b == 0 {
-			continue
-		}
-		cc.SelectedRows += plan.HitProb * rows * plan.RowSel
-		io := FragmentCost(plan, g.PageSize, b, rows, factGranule, bmGranule)
-		cc.FactIOs += plan.HitProb * io.FactIOs
-		cc.FactPages += plan.HitProb * io.FactPages
-		cc.BitmapIOs += plan.HitProb * io.BitmapIOs
-		cc.BitmapPages += plan.HitProb * io.BitmapPages
-
-		tv[v] = io.Seconds(&cfg.Disk)
-		w := plan.HitProb * tv[v]
-		busy[pl.DiskOf[v]] += w
-		totalBusy += w
+	for v, ci := range sz.ClassOf {
+		k := &cls[ci]
+		cc.SelectedRows += k.sel
+		cc.FactIOs += k.factIOs
+		cc.FactPages += k.factPages
+		cc.BitmapIOs += k.bitmapIOs
+		cc.BitmapPages += k.bitmapPages
+		busy[pl.DiskOf[v]] += k.w
+		totalBusy += k.w
 	}
 	for d, bz := range busy {
 		cc.DiskBusy[d] = time.Duration(bz * float64(time.Second))
 	}
 	cc.AccessCost = time.Duration(totalBusy * float64(time.Second))
-	resp, exact := expectedMaxResponse(cfg, plan, pl, tv, SampleSeed(f, c), sc)
+	resp, exact := e.expectedMaxResponse(plan, pl, sz, cls, SampleSeed(f, c), sc)
 	cc.ResponseTime = time.Duration(resp * float64(time.Second))
 	cc.ResponseExact = exact
 	return cc
@@ -239,32 +264,38 @@ func (e *Evaluator) optimizeGranules(g *fragment.Geometry, plans []ClassPlan) (f
 	if avgP < 1 {
 		avgP = 1
 	}
-	avgR := avgRows(g)
-	cost := func(fg, bg int, factPart bool) float64 {
-		var total float64
+	// The representative fragment's average row count comes from the
+	// size-class table's cached fragment-order row sum — the same
+	// accumulation the per-fragment loop performed.
+	var avgR float64
+	if n := g.NumFragments(); n > 0 {
+		avgR = g.SizeClasses().SumRows / float64(n)
+	}
+	// One FragmentCost per (granule, class) prices both searches: the fact
+	// and bitmap partial costs are independent projections of the same io
+	// breakdown, so the two argmins share the kernel work. Granules are
+	// scanned in the same ascending order with the same strict-< update as
+	// the former independent searches — identical picks.
+	factBest, factCost := 1, math.Inf(1)
+	bmBest, bmCost := 1, math.Inf(1)
+	for gr := 1; gr <= PrefetchCap; gr *= 2 {
+		var factTotal, bmTotal float64
 		for i := range plans {
-			io := FragmentCost(&plans[i], g.PageSize, avgP, avgR, fg, bg)
-			var part FragmentIO
-			if factPart {
-				part = FragmentIO{FactIOs: io.FactIOs, FactPages: io.FactPages}
-			} else {
-				part = FragmentIO{BitmapIOs: io.BitmapIOs, BitmapPages: io.BitmapPages}
-			}
-			total += e.weights[i] * plans[i].HitProb * part.Seconds(&cfg.Disk)
+			io := FragmentCost(&plans[i], g.PageSize, avgP, avgR, gr, gr)
+			w := e.weights[i] * plans[i].HitProb
+			factPart := FragmentIO{FactIOs: io.FactIOs, FactPages: io.FactPages}
+			bmPart := FragmentIO{BitmapIOs: io.BitmapIOs, BitmapPages: io.BitmapPages}
+			factTotal += w * factPart.Seconds(&cfg.Disk)
+			bmTotal += w * bmPart.Seconds(&cfg.Disk)
 		}
-		return total
-	}
-	pick := func(factPart bool) int {
-		best, bestCost := 1, math.Inf(1)
-		for gr := 1; gr <= PrefetchCap; gr *= 2 {
-			c := cost(gr, gr, factPart)
-			if c < bestCost {
-				best, bestCost = gr, c
-			}
+		if factTotal < factCost {
+			factBest, factCost = gr, factTotal
 		}
-		return best
+		if bmTotal < bmCost {
+			bmBest, bmCost = gr, bmTotal
+		}
 	}
-	return pick(true), pick(false)
+	return factBest, bmBest
 }
 
 // SampleSeed derives the deterministic seed of the response-time sampling

@@ -93,6 +93,15 @@ type boundState struct {
 	// or above fragLevel, the minimum summed share of the fragment
 	// values any single query value selects (fragment elimination case).
 	ancMin map[ancKey]float64
+	// floorMu/floorMemo memoize perRowFloor by the exact bits of its
+	// selectivity floor argument — the bound's own size-class dedup: the
+	// candidate space induces only a handful of distinct (class, pLB)
+	// selectivities, and each costs two math.Pow calls. Bit-keying keeps
+	// the memo exact (same bits in, same float out), and reads take only
+	// the read lock so the hot path stays allocation-free after warm-up
+	// (cf. TestLowerBoundAllocationFree).
+	floorMu   sync.RWMutex
+	floorMemo map[uint64]float64
 }
 
 // boundTables returns the lazily built lower-bound tables.
@@ -103,7 +112,7 @@ func (e *Evaluator) boundTables() *boundState {
 
 func (e *Evaluator) buildBoundTables() *boundState {
 	cfg := e.cfg
-	b := &boundState{ancMin: map[ancKey]float64{}}
+	b := &boundState{ancMin: map[ancKey]float64{}, floorMemo: map[uint64]float64{}}
 	if cfg.Schema.Fact.RowSize <= 0 || cfg.Disk.PageSize <= 0 || cfg.Disk.Disks <= 0 {
 		return b
 	}
@@ -240,9 +249,18 @@ func (e *Evaluator) LowerBound(f *fragment.Fragmentation) (lbCost, lbResp time.D
 // cPg·xfer + cIO·pos with cPg = (1−(1−p)^(ρ·gLo))/ρ pages per row and
 // cIO = (1−(1−p)^(ρ·gHi))/(ρ·gHi) positioning operations per row (see
 // the derivation above).
+// Distinct selectivity floors are memoized (floorMemo) so each is priced
+// once per Evaluator, not once per candidate.
 func (b *boundState) perRowFloor(p float64) float64 {
 	if p <= 0 || b.rho <= 0 {
 		return 0
+	}
+	key := math.Float64bits(p)
+	b.floorMu.RLock()
+	v, ok := b.floorMemo[key]
+	b.floorMu.RUnlock()
+	if ok {
+		return v
 	}
 	onePg, oneIO := 1.0, 1.0
 	if p < 1 {
@@ -250,7 +268,11 @@ func (b *boundState) perRowFloor(p float64) float64 {
 		onePg = 1 - math.Pow(q, b.rho*b.granLo)
 		oneIO = 1 - math.Pow(q, b.rho*b.granHi)
 	}
-	return onePg/b.rho*b.xfer + oneIO/(b.rho*b.granHi)*b.pos
+	v = onePg/b.rho*b.xfer + oneIO/(b.rho*b.granHi)*b.pos
+	b.floorMu.Lock()
+	b.floorMemo[key] = v
+	b.floorMu.Unlock()
+	return v
 }
 
 // floorDuration converts a seconds floor to nanoseconds with slack for

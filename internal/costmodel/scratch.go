@@ -2,14 +2,21 @@ package costmodel
 
 import "math/rand"
 
-// evalScratch is the pooled per-candidate working set of the evaluation
-// hot path. Nothing in it escapes into an Evaluation (geometries,
-// per-class costs and disk profiles are still freshly allocated), so
-// reuse cannot change results; the zeroing discipline is documented at
-// each use site.
+// evalScratch is the per-candidate working set of the evaluation hot
+// path. Nothing in it escapes into an Evaluation (per-class costs and
+// disk profiles are still freshly allocated), so reuse cannot change
+// results; the zeroing discipline is documented at each use site.
+//
+// Ownership comes in two flavours: Evaluate draws from the Evaluator's
+// sync.Pool per call (convenient for one-off callers), while pipeline
+// workers own one scratch for their whole lifetime via Scratch /
+// EvaluateWith — no pool traffic, no cross-CPU buffer migration on the
+// hot path.
 type evalScratch struct {
-	// tv is the per-fragment service time, zeroed on acquisition.
-	tv []float64
+	// cls is the size-class cost table of the class currently being
+	// priced (see kernel.go); every entry is overwritten by
+	// priceSizeClasses before use.
+	cls []sizeClassCost
 	// busy accumulates per-disk busy time in evaluateClass (zeroed per
 	// class); rbusy is the hit-pattern enumeration's accumulator, kept
 	// all-zero between patterns by the enumeration itself.
@@ -17,6 +24,9 @@ type evalScratch struct {
 	// touched lists the disks a pattern actually loaded (capacity =
 	// disks, so appends never regrow it).
 	touched []int
+	// outs holds the per-dimension outcome sets of the class currently
+	// being priced (pointers into the Evaluator's outcome cache).
+	outs [][][]int
 	// sets/idx/vals/choice are the hit-pattern cursors, one entry per
 	// fragmentation attribute.
 	sets      [][]int
@@ -29,18 +39,20 @@ type evalScratch struct {
 	// (candidate, class), it produces exactly the sequence a fresh
 	// rand.New(rand.NewSource(seed)) would.
 	rng *rand.Rand
+	// sharder is the pipeline's idle-worker token pool for intra-candidate
+	// sharding of the kernel fill; nil disables sharding (pooled Evaluate
+	// scratches never shard).
+	sharder *Sharder
 }
 
-// getScratch returns a pooled scratch sized for a candidate with the
-// given fragment count, disk count, attribute count and class count.
-// tv and rbusy are zeroed; busy/idx/choice are zeroed at their use sites.
-func (e *Evaluator) getScratch(frags int64, disks, dims, classes int) *evalScratch {
-	sc, _ := e.scratch.Get().(*evalScratch)
-	if sc == nil {
-		sc = &evalScratch{rng: rand.New(rand.NewSource(0))}
-	}
-	sc.tv = growFloats(sc.tv, int(frags))
-	clear(sc.tv)
+func newEvalScratch() *evalScratch {
+	return &evalScratch{rng: rand.New(rand.NewSource(0))}
+}
+
+// resize readies the scratch for a candidate with the given disk,
+// attribute and class counts. rbusy is zeroed; busy/idx/choice are zeroed
+// at their use sites; cls is sized by the kernel per class evaluation.
+func (sc *evalScratch) resize(disks, dims, classes int) {
 	sc.busy = growFloats(sc.busy, disks)
 	sc.rbusy = growFloats(sc.rbusy, disks)
 	clear(sc.rbusy)
@@ -51,6 +63,10 @@ func (e *Evaluator) getScratch(frags int64, disks, dims, classes int) *evalScrat
 		sc.sets = make([][]int, dims)
 	}
 	sc.sets = sc.sets[:dims]
+	if cap(sc.outs) < dims {
+		sc.outs = make([][][]int, dims)
+	}
+	sc.outs = sc.outs[:dims]
 	sc.idx = growInts(sc.idx, dims)
 	sc.vals = growInts(sc.vals, dims)
 	sc.choice = growInts(sc.choice, dims)
@@ -58,7 +74,36 @@ func (e *Evaluator) getScratch(frags int64, disks, dims, classes int) *evalScrat
 		sc.plans = make([]ClassPlan, classes)
 	}
 	sc.plans = sc.plans[:classes]
+}
+
+// getScratch returns a pooled scratch sized for the candidate.
+func (e *Evaluator) getScratch(disks, dims, classes int) *evalScratch {
+	sc, _ := e.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = newEvalScratch()
+	}
+	sc.resize(disks, dims, classes)
 	return sc
+}
+
+// Scratch is an evaluation working set owned by one worker goroutine for
+// its lifetime. A pipeline worker creates one Scratch up front and
+// threads it through EvaluateWith for every candidate it prices,
+// replacing per-candidate sync.Pool traffic with exclusive ownership.
+// A Scratch must not be used from two goroutines concurrently; results
+// are bit-identical whether evaluations share a Scratch, use distinct
+// ones, or go through plain Evaluate.
+type Scratch struct {
+	es *evalScratch
+}
+
+// NewScratch returns a worker-lifetime scratch. sharder optionally
+// donates the pipeline's idle-worker tokens to intra-candidate kernel
+// sharding (see Sharder); nil disables sharding.
+func (e *Evaluator) NewScratch(sharder *Sharder) *Scratch {
+	es := newEvalScratch()
+	es.sharder = sharder
+	return &Scratch{es: es}
 }
 
 func growFloats(s []float64, n int) []float64 {

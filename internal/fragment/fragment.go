@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/schema"
 	"repro/internal/skew"
@@ -172,6 +173,74 @@ type Geometry struct {
 	TotalPages int64
 	// PageSize used for the computation.
 	PageSize int
+
+	// sizeOnce/size lazily build the fragment size-class table; statsOnce/
+	// stats cache the size summary. Both are derived views of Rows/Pages —
+	// callers must not mutate those slices after first use (no caller does;
+	// geometries are treated as immutable once built and shared across
+	// evaluators via costmodel.Cache).
+	sizeOnce  sync.Once
+	size      *SizeClasses
+	statsOnce sync.Once
+	stats     Stats
+}
+
+// SizeClasses groups a geometry's fragments into its distinct exact
+// (rows, pages) size pairs. Hierarchical fragmentation yields geometries
+// where huge numbers of fragments share a size — a uniform dimension
+// collapses to a single class — so per-fragment cost arithmetic that
+// depends only on fragment size can be computed once per class and fanned
+// back out over ClassOf (see costmodel's size-class kernel). Classes are
+// numbered by first appearance in logical fragment order, which makes the
+// table deterministic for a given geometry.
+type SizeClasses struct {
+	// ClassOf[v] is the size class of fragment v, in logical fragment
+	// order. len == NumFragments.
+	ClassOf []int32
+	// Rows[c] and Pages[c] are the exact per-fragment size of class c —
+	// bit-identical to the Geometry.Rows/Pages entries of every member.
+	Rows  []float64
+	Pages []int64
+	// Count[c] is the number of fragments in class c.
+	Count []int64
+	// SumRows is the sum over Geometry.Rows in fragment order (the same
+	// left-to-right accumulation a per-fragment pass produces, cached so
+	// per-candidate consumers stop re-walking all fragments).
+	SumRows float64
+}
+
+// NumClasses returns the number of distinct size classes.
+func (sz *SizeClasses) NumClasses() int { return len(sz.Rows) }
+
+// SizeClasses returns the geometry's size-class table, building it on
+// first use (goroutine-safe; the table is immutable once built and shared
+// by every evaluator holding the geometry).
+func (g *Geometry) SizeClasses() *SizeClasses {
+	g.sizeOnce.Do(func() {
+		n := len(g.Pages)
+		sz := &SizeClasses{ClassOf: make([]int32, n)}
+		type sizeKey struct {
+			rows  uint64 // math.Float64bits: exact bit-pattern identity
+			pages int64
+		}
+		index := make(map[sizeKey]int32, 64)
+		for v := 0; v < n; v++ {
+			sz.SumRows += g.Rows[v]
+			k := sizeKey{rows: math.Float64bits(g.Rows[v]), pages: g.Pages[v]}
+			c, ok := index[k]
+			if !ok {
+				c = int32(len(sz.Rows))
+				index[k] = c
+				sz.Rows = append(sz.Rows, g.Rows[v])
+				sz.Pages = append(sz.Pages, g.Pages[v])
+				sz.Count = append(sz.Count, 0)
+			}
+			sz.Count[c]++
+			sz.ClassOf[v] = c
+		}
+		g.size = sz
+	})
+	return g.size
 }
 
 // MaxFragmentsDefault bounds candidate materialization; fragmentations
@@ -266,8 +335,16 @@ type Stats struct {
 	TotalPages         int64
 }
 
-// Stats computes the size summary of the geometry.
+// Stats computes the size summary of the geometry. The summary is
+// computed once and cached: several pipeline stages (granule search,
+// post-evaluation threshold check, analysis reports) each ask for it per
+// candidate, and the O(fragments) pass is pure.
 func (g *Geometry) Stats() Stats {
+	g.statsOnce.Do(func() { g.stats = g.computeStats() })
+	return g.stats
+}
+
+func (g *Geometry) computeStats() Stats {
 	st := Stats{Fragments: g.NumFragments(), TotalPages: g.TotalPages}
 	if st.Fragments == 0 {
 		return st

@@ -1,0 +1,116 @@
+package fragment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/skew"
+)
+
+// TestSizeClasses checks the size-class table invariants on a uniform and
+// a skewed geometry: exact membership (every fragment's size bitwise
+// equals its class's size), first-appearance numbering, counts summing to
+// the fragment count, and a SumRows bitwise equal to the in-order
+// per-fragment accumulation the table replaces.
+func TestSizeClasses(t *testing.T) {
+	uniform := testStar()
+	skewed := testStar()
+	skewed.Dimensions[0].SkewTheta = 0.86
+	for _, tc := range []struct {
+		name       string
+		star       *schema.Star
+		minClasses int
+		maxClasses int
+	}{
+		{"uniform", uniform, 1, 1},
+		{"skewed", skewed, 2, 1 << 30},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse(tc.star, "Product.line", "Time.quarter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGeometry(tc.star, f, 8192, skew.Interleaved, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sz := g.SizeClasses()
+			n := int(g.NumFragments())
+			if len(sz.ClassOf) != n {
+				t.Fatalf("ClassOf length %d, want %d", len(sz.ClassOf), n)
+			}
+			k := sz.NumClasses()
+			if k < tc.minClasses || k > tc.maxClasses {
+				t.Fatalf("%d size classes, want in [%d,%d]", k, tc.minClasses, tc.maxClasses)
+			}
+			if len(sz.Pages) != k || len(sz.Count) != k {
+				t.Fatalf("parallel arrays disagree: rows=%d pages=%d count=%d",
+					k, len(sz.Pages), len(sz.Count))
+			}
+			var sumRows float64
+			var total int64
+			seen := make([]bool, k)
+			next := int32(0)
+			for v := 0; v < n; v++ {
+				c := sz.ClassOf[v]
+				if c < 0 || int(c) >= k {
+					t.Fatalf("fragment %d: class %d out of range", v, c)
+				}
+				// First-appearance numbering: a class id first occurs only
+				// after every smaller id has.
+				if !seen[c] {
+					if c != next {
+						t.Fatalf("fragment %d introduces class %d, want %d", v, c, next)
+					}
+					seen[c] = true
+					next++
+				}
+				if sz.Rows[c] != g.Rows[v] || sz.Pages[c] != g.Pages[v] {
+					t.Fatalf("fragment %d: class size (%v,%d) != fragment size (%v,%d)",
+						v, sz.Rows[c], sz.Pages[c], g.Rows[v], g.Pages[v])
+				}
+				sumRows += g.Rows[v]
+			}
+			for _, c := range sz.Count {
+				total += c
+			}
+			if total != int64(n) {
+				t.Fatalf("class counts sum to %d, want %d", total, n)
+			}
+			if sz.SumRows != sumRows {
+				t.Fatalf("SumRows %v != in-order sum %v", sz.SumRows, sumRows)
+			}
+		})
+	}
+}
+
+// TestSizeClassesConcurrent verifies the lazy build is goroutine-safe and
+// returns one shared table.
+func TestSizeClassesConcurrent(t *testing.T) {
+	s := testStar()
+	f, err := Parse(s, "Product.family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGeometry(s, f, 8192, skew.Interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	tables := make([]*SizeClasses, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i] = g.SizeClasses()
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if tables[i] != tables[0] {
+			t.Fatal("concurrent SizeClasses calls returned distinct tables")
+		}
+	}
+}
