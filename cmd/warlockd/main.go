@@ -31,6 +31,14 @@
 // logs requests over a threshold with their fingerprint and stage
 // breakdown.
 //
+// Robustness knobs: -allow-partial turns a -request-timeout expiry on
+// /v1/advise into a 200 carrying the best-so-far ranking ("partial":
+// true plus a coverage breakdown) instead of a 504; -job-retries re-runs
+// async jobs whose failures were transient (overload, I/O errors) with
+// exponential backoff. Per-candidate evaluation panics are always
+// isolated — the candidate is reported in the response and counted on
+// warlockd_eval_panics_total, the advisory completes.
+//
 // With -pprof, the standard net/http/pprof profiling handlers are
 // additionally mounted under /debug/pprof/ (off by default: the
 // profiling surface should not be exposed on a public listener).
@@ -87,6 +95,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		jobTTL         = fs.Duration("job-ttl", 0, "how long finished async jobs stay queryable before eviction (0 = 15m default)")
 		maxJobs        = fs.Int("max-jobs", 0, "max stored async jobs; beyond it the oldest finished job is evicted, and submissions are rejected when every slot holds an unfinished job (0 = 64 default)")
 		maxRunningJobs = fs.Int("max-running-jobs", 0, "max concurrently running async jobs; keep it below -max-concurrent so synchronous requests always find an evaluation slot (0 = one below -max-concurrent)")
+		jobRetries     = fs.Int("job-retries", 0, "retry transient async-job failures (overload, I/O errors) up to this many times with exponential backoff; deterministic failures never retry (0 = no retries)")
+		allowPartial   = fs.Bool("allow-partial", false, "degrade gracefully when -request-timeout expires mid-advisory: /v1/advise answers 200 with the best-so-far ranking, \"partial\": true and a coverage breakdown instead of 504; partial responses are never cached")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +114,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		JobTTL:               *jobTTL,
 		MaxJobs:              *maxJobs,
 		MaxRunningJobs:       *maxRunningJobs,
+		JobRetries:           *jobRetries,
+		AllowPartial:         *allowPartial,
 	})
 	defer srv.Close()
 

@@ -193,6 +193,80 @@ func TestPprofGate(t *testing.T) {
 	shutdown()
 }
 
+// TestRunAllowPartialFlag: with -allow-partial the same unmeetable
+// deadline degrades to a 200 carrying "partial": true instead of the
+// 504 TestRunRequestTimeoutFlag pins, and the degradation counters are
+// exposed on /metrics.
+func TestRunAllowPartialFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-request-timeout", "1ns",
+			"-allow-partial", "-job-retries", "2", "-drain-timeout", "5s",
+		}, io.Discard, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	base := "http://" + addr.String()
+
+	// A 1ns deadline fires effectively instantly, but timer latency can
+	// occasionally let a warm advisory finish whole. Each attempt uses a
+	// different row count (a different fingerprint, so never a cache
+	// hit); one degraded response within a few attempts is the contract.
+	sawPartial := false
+	for attempt := 0; attempt < 5 && !sawPartial; attempt++ {
+		var cfg bytes.Buffer
+		if err := config.FromAPB1(300_000+int64(attempt), 8).Encode(&cfg); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/advise", "application/json", &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advise under dead deadline with -allow-partial: %d %s, want 200", resp.StatusCode, b)
+		}
+		sawPartial = strings.Contains(string(b), `"partial": true`)
+	}
+	if !sawPartial {
+		t.Fatal("no advisory degraded to partial across 5 cold attempts")
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, counter := range []string{"warlockd_eval_panics_total", "warlockd_job_retries_total"} {
+		if !strings.Contains(string(m), counter) {
+			t.Fatalf("metrics missing %s:\n%s", counter, m)
+		}
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}
+
 // TestRunListenerConflict: binding the same port twice reports an error
 // instead of serving silently on another port.
 func TestRunListenerConflict(t *testing.T) {

@@ -1,0 +1,297 @@
+package core
+
+// Chaos suite for the tentpole robustness features: panic isolation
+// (Result.Faults), graceful degradation (Input.AllowPartial), and the
+// fault-injection harness wired into the evaluate path. Every test is
+// deterministic in its schedules; assertions are schedule-agnostic where
+// worker scheduling decides which candidate absorbs an injection.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fragment"
+)
+
+// checkNoGoroutineLeak fails the test if the goroutine count settles
+// above the baseline captured at call time.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > before+2 {
+			t.Fatalf("goroutines grew from %d to %d — pipeline leak", before, n)
+		}
+	}
+}
+
+// checkCoverage asserts the candidate-space accounting invariants that
+// must hold on every run, partial or not.
+func checkCoverage(t *testing.T, in *Input, res *Result) {
+	t.Helper()
+	total := int(fragment.EnumerationSize(in.Schema))
+	if in.Candidates != nil {
+		total = len(in.Candidates)
+	}
+	cov := res.Coverage
+	if cov.Evaluated < 0 || cov.Skipped < 0 || cov.Remaining < 0 {
+		t.Fatalf("negative coverage: %+v", cov)
+	}
+	if cov.Evaluated+cov.Skipped+cov.Remaining > total {
+		t.Fatalf("coverage %+v exceeds candidate space %d", cov, total)
+	}
+	if !res.Partial && cov.Remaining != 0 {
+		t.Fatalf("complete run with Remaining = %d", cov.Remaining)
+	}
+	if res.Partial && cov.Remaining == 0 {
+		t.Fatal("Partial set with Remaining = 0")
+	}
+}
+
+// TestPanicIsolatedIntoFaults: an injected panic on the evaluate
+// failpoint never crashes the advisory — the poisoned candidates land in
+// Result.Faults with redacted panic values and everything else completes.
+func TestPanicIsolatedIntoFaults(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	reg := faults.New()
+	reg.Enable(FaultEvaluate, faults.Schedule{EveryNth: 5}, faults.Outcome{
+		Panic: "chaos: poisoned\ncandidate",
+	})
+	in := apb1Input(t)
+	in.Parallelism = 4
+	in.Faults = reg
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatalf("advisory failed instead of isolating panics: %v", err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("no faults recorded despite every-5th panic injection")
+	}
+	if got, want := len(res.Faults), reg.Fired(FaultEvaluate); got != want {
+		t.Fatalf("Faults = %d, injector fired %d times — a panic escaped or was double-counted", got, want)
+	}
+	for _, f := range res.Faults {
+		if f.Key == "" {
+			t.Fatal("fault without candidate key")
+		}
+		if !strings.Contains(f.Panic, "chaos: poisoned") {
+			t.Fatalf("fault panic %q lost the payload", f.Panic)
+		}
+		if strings.Contains(f.Panic, "\n") {
+			t.Fatalf("fault panic %q not newline-redacted", f.Panic)
+		}
+	}
+	if res.Best() == nil {
+		t.Fatal("surviving candidates produced no winner")
+	}
+	if res.Partial {
+		t.Fatal("complete run marked partial")
+	}
+	checkCoverage(t, in, res)
+}
+
+// TestInjectedErrorsBecomeEvalFailures: an error-flavoured injection
+// rides the existing EvalFailures path, classified as ErrInjected.
+func TestInjectedErrorsBecomeEvalFailures(t *testing.T) {
+	reg := faults.New()
+	reg.Enable(FaultEvaluate, faults.Schedule{EveryNth: 7}, faults.Outcome{})
+	in := apb1Input(t)
+	in.Parallelism = 4
+	in.Faults = reg
+	res, err := Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EvalFailures) != reg.Fired(FaultEvaluate) || len(res.EvalFailures) == 0 {
+		t.Fatalf("EvalFailures = %d, injector fired %d times", len(res.EvalFailures), reg.Fired(FaultEvaluate))
+	}
+	for _, e := range res.EvalFailures {
+		if !faults.Injected(e) {
+			t.Fatalf("injected failure %v not classified as ErrInjected", e)
+		}
+	}
+	if len(res.Faults) != 0 {
+		t.Fatalf("error injection produced panics: %v", res.Faults)
+	}
+}
+
+// TestAllowPartialPreCancelled: even a context dead on arrival yields a
+// well-formed empty partial result under AllowPartial.
+func TestAllowPartialPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := apb1Input(t)
+	in.AllowPartial = true
+	res, err := AdviseContext(ctx, in)
+	if err != nil {
+		t.Fatalf("AllowPartial returned error on cancellation: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("pre-cancelled run not marked partial")
+	}
+	if res.Coverage.Evaluated != 0 || res.Coverage.Skipped != 0 {
+		t.Fatalf("pre-cancelled run claims coverage %+v", res.Coverage)
+	}
+	if len(res.Ranked) != 0 || res.Best() != nil {
+		t.Fatal("pre-cancelled run invented ranked candidates")
+	}
+	checkCoverage(t, in, res)
+}
+
+// TestAllowPartialMidRunDeadlines: a ladder of deadlines from instant to
+// generous always returns a well-formed result, never an error; runs
+// that finished everything are bit-identical to the plain advisory.
+func TestAllowPartialMidRunDeadlines(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	want, err := Advise(apb1Input(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial, sawComplete := false, false
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*2*time.Millisecond)
+		in := apb1Input(t)
+		in.AllowPartial = true
+		res, err := AdviseContext(ctx, in)
+		cancel()
+		if err != nil {
+			t.Fatalf("deadline %d: AllowPartial run errored: %v", i, err)
+		}
+		checkCoverage(t, in, res)
+		if res.Partial {
+			sawPartial = true
+			// A partial ranking, when present, must consist of real
+			// evaluations with sane metrics.
+			for _, r := range res.Ranked {
+				if r.Eval == nil || r.Eval.ResponseTime < 0 {
+					t.Fatalf("deadline %d: malformed partial ranking", i)
+				}
+			}
+			continue
+		}
+		sawComplete = true
+		if !reflect.DeepEqual(fingerprint(res), fingerprint(want)) {
+			t.Fatalf("deadline %d: complete AllowPartial run differs from plain Advise", i)
+		}
+	}
+	// The ladder spans instant to ~14ms; at least the 0ms rung must be
+	// partial. (Both shapes usually appear, but a loaded machine may
+	// legitimately never complete within the ladder.)
+	if !sawPartial && !sawComplete {
+		t.Fatal("ladder produced neither partial nor complete runs")
+	}
+	if !sawPartial {
+		t.Fatal("even the instant deadline completed — ladder cannot exercise partial path")
+	}
+}
+
+// TestAllowPartialCompleteBitIdentical: with no deadline at all,
+// AllowPartial is unobservable.
+func TestAllowPartialCompleteBitIdentical(t *testing.T) {
+	want, err := Advise(apb1Input(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apb1Input(t)
+	in.AllowPartial = true
+	got, err := AdviseContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial || got.Coverage.Remaining != 0 {
+		t.Fatalf("undeadlined run partial=%v coverage=%+v", got.Partial, got.Coverage)
+	}
+	if !reflect.DeepEqual(fingerprint(got), fingerprint(want)) {
+		t.Fatal("AllowPartial changed a complete run's results")
+	}
+}
+
+// TestChaosScheduleMatrix drives the pipeline through a deterministic
+// matrix of failpoint schedules and outcomes (panic, error, delay),
+// parallelism levels and optional deadlines. Whatever the combination:
+// no crash, no goroutine leak, and every triggered injection surfaces as
+// exactly one classified failure or recorded fault on complete runs.
+func TestChaosScheduleMatrix(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	for seed := 0; seed < 9; seed++ {
+		seed := seed
+		reg := faults.New()
+		sched := faults.Schedule{AfterK: seed % 3, EveryNth: 2 + seed%4}
+		var out faults.Outcome
+		switch seed % 3 {
+		case 0:
+			out.Panic = seed // non-string payloads must redact cleanly
+		case 1:
+			out = faults.Outcome{} // default: ErrInjected
+		case 2:
+			out.Delay = time.Duration(seed) * 100 * time.Microsecond
+		}
+		reg.Enable(FaultEvaluate, sched, out)
+
+		in := apb1Input(t)
+		in.Parallelism = 1 + seed%4
+		in.Faults = reg
+		in.AllowPartial = seed%2 == 1
+		ctx := context.Background()
+		if seed%4 == 3 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, 5*time.Millisecond)
+			defer cancel()
+		}
+		res, err := AdviseContext(ctx, in)
+		if err != nil {
+			// Only acceptable failures: the context died without
+			// AllowPartial, or the injected error starved the pool.
+			if isChaosAcceptable(err) {
+				continue
+			}
+			t.Fatalf("seed %d: unclassified failure: %v", seed, err)
+		}
+		checkCoverage(t, in, res)
+		if res.Partial && !in.AllowPartial {
+			t.Fatalf("seed %d: partial result without AllowPartial", seed)
+		}
+		if !res.Partial {
+			// Complete-run accounting: every trigger is exactly one fault
+			// (panic flavour) or one injected failure (error flavour).
+			fired := reg.Fired(FaultEvaluate)
+			switch seed % 3 {
+			case 0:
+				if len(res.Faults) != fired {
+					t.Fatalf("seed %d: %d faults for %d fired panics", seed, len(res.Faults), fired)
+				}
+			case 1:
+				injected := 0
+				for _, e := range res.EvalFailures {
+					if faults.Injected(e) {
+						injected++
+					}
+				}
+				if injected != fired {
+					t.Fatalf("seed %d: %d injected failures for %d fired errors", seed, injected, fired)
+				}
+			case 2:
+				if len(res.Faults) != 0 {
+					t.Fatalf("seed %d: delay-only injection faulted: %v", seed, res.Faults)
+				}
+			}
+		}
+	}
+}
+
+func isChaosAcceptable(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrNoFeasible)
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/costmodel"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/fragment"
 	"repro/internal/rank"
 	"repro/internal/schema"
@@ -82,6 +83,22 @@ type Input struct {
 	// cache for all scenarios of a run. Nil disables sharing. Results
 	// are bit-for-bit identical with and without a cache.
 	EvalCache *costmodel.Cache
+	// AllowPartial turns context cancellation into graceful degradation:
+	// instead of discarding everything and returning ctx.Err(), the
+	// pipeline stops accepting work, drains what the workers already
+	// priced, and returns a well-formed Result with Partial=true and
+	// Coverage describing how much of the candidate space was processed.
+	// A run that happens to process every candidate before noticing the
+	// cancellation is bit-identical to a normal run (Partial stays
+	// false). Which candidates a partial run covered is inherently
+	// timing-dependent — partial results are best-effort by definition
+	// and are excluded from every bit-identity surface.
+	AllowPartial bool
+	// Faults optionally arms the fault-injection harness on this
+	// advisory's evaluation path (failpoint FaultEvaluate, fired once per
+	// candidate entering full evaluation). Nil — the production default —
+	// disarms it; see package faults.
+	Faults *faults.Registry
 }
 
 // Result is everything the prediction layer hands to the analysis layer.
@@ -102,6 +119,20 @@ type Result struct {
 	Excluded []fragment.Violation
 	// EvalFailures lists candidates that failed evaluation.
 	EvalFailures []error
+	// Faults lists candidates whose evaluation panicked: the pipeline
+	// workers isolate per-candidate panics (the candidate is dropped
+	// from the pool, its scratch discarded) so one poisoned candidate
+	// cannot kill the advisory. In enumeration order.
+	Faults []Fault
+	// Partial reports a gracefully degraded advisory: the context was
+	// cancelled with Input.AllowPartial set and at least one candidate
+	// was never processed. The Result is well-formed — Ranked holds the
+	// best-so-far leading set — but covers only the candidates in
+	// Coverage. Always false on complete runs, whatever AllowPartial is.
+	Partial bool
+	// Coverage reports how much of the candidate space this run
+	// processed; Remaining is 0 exactly when the run was complete.
+	Coverage Coverage
 	// PruneStats reports the branch-and-bound stage's work breakdown.
 	PruneStats PruneStats
 	// Timings reports wall-clock stage durations of this advisory run.
@@ -110,6 +141,41 @@ type Result struct {
 	// are unaffected.
 	Timings StageTimings
 }
+
+// Fault records one candidate whose evaluation panicked and was
+// isolated by the pipeline's per-candidate recover.
+type Fault struct {
+	// Key is the candidate's canonical fragmentation key.
+	Key string
+	// Panic is the redacted panic value: its type plus a bounded,
+	// newline-free rendering — safe to serialize and log whatever the
+	// panicking code threw.
+	Panic string
+}
+
+// Coverage accounts for every candidate of one (possibly partial)
+// advisory. Candidates the threshold pre-check excluded appear in
+// Result.Excluded, not here; on a complete run
+// Evaluated + Skipped + len(pre-check exclusions) covers the whole
+// enumeration and Remaining is 0.
+type Coverage struct {
+	// Evaluated counts candidates that completed the evaluation stage:
+	// fully priced (retained or not), excluded by the post-evaluation
+	// threshold check, failed, or faulted.
+	Evaluated int
+	// Skipped counts candidates the branch-and-bound stage proved could
+	// not enter the retained set and skipped without evaluation.
+	Skipped int
+	// Remaining counts candidates that never reached a verdict before a
+	// partial run stopped. 0 exactly when the run was complete.
+	Remaining int
+}
+
+// FaultEvaluate is the fault-injection point fired once per candidate
+// entering full cost-model evaluation, inside the worker's recover
+// scope — an injected panic exercises exactly the isolation path a real
+// evaluation panic takes (see Input.Faults).
+const FaultEvaluate = "core/evaluate"
 
 // StageTimings is the wall-clock breakdown of one pipeline run. The
 // pipeline is streaming — enumeration, evaluation and ranking overlap —

@@ -6,6 +6,7 @@ import (
 	"iter"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,7 +68,21 @@ type evalResult struct {
 	ev      *costmodel.Evaluation // nil when excluded, failed or skipped
 	vio     *fragment.Violation   // post-evaluation threshold violation
 	err     error                 // evaluation failure
+	fault   *Fault                // evaluation panicked; isolated
 	skipped bool                  // pruned: lower bound proved it a loser
+}
+
+// redactPanic renders a recovered panic value for Result.Faults: the
+// value's dynamic type plus a bounded, newline-free formatting, so an
+// arbitrary panic payload cannot bloat or corrupt advisory outputs.
+func redactPanic(p any) string {
+	s := fmt.Sprintf("%T: %v", p, p)
+	s = strings.ReplaceAll(s, "\n", " ")
+	const maxLen = 160
+	if len(s) > maxLen {
+		s = s[:maxLen] + "..."
+	}
+	return s
 }
 
 // maxWorkers caps the evaluation pool: beyond it extra goroutines and
@@ -136,8 +151,9 @@ func (in *Input) candidateSource(th fragment.Thresholds) (iter.Seq2[*fragment.Fr
 // generation, threshold exclusion, parallel cost-model evaluation
 // (in.Parallelism workers) and streaming twofold ranking. On ctx
 // cancellation the stages drain cleanly — no goroutine outlives the call
-// — and ctx.Err() is returned. Results are identical for every
-// Parallelism value.
+// — and ctx.Err() is returned, unless in.AllowPartial turns the
+// cancellation into a graceful partial Result (see Input.AllowPartial).
+// Results are identical for every Parallelism value.
 func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	start := time.Now()
 	if err := in.Validate(); err != nil {
@@ -230,6 +246,43 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			sc := eval.NewScratch(sharder)
+			// evalOne prices one candidate with per-candidate panic
+			// isolation: a panic anywhere in the evaluation (including one
+			// forwarded from a sharded kernel fill, or injected through the
+			// FaultEvaluate failpoint) is recovered here, the possibly
+			// half-mutated scratch is discarded, and the candidate surfaces
+			// as a Fault instead of killing the advisory.
+			evalOne := func(item workItem) (r evalResult) {
+				r.idx = item.idx
+				defer func() {
+					if p := recover(); p != nil {
+						sc.Reset()
+						r = evalResult{idx: item.idx, fault: &Fault{
+							Key:   item.frag.Key(),
+							Panic: redactPanic(p),
+						}}
+					}
+				}()
+				// The failpoint fires inside the recover scope so an
+				// injected panic exercises exactly the path a real one
+				// takes; an injected error rides the EvalFailures path.
+				if err := in.Faults.Hit(FaultEvaluate); err != nil {
+					r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
+					return r
+				}
+				switch ev, err := eval.EvaluateWith(sc, item.frag); {
+				case err != nil:
+					r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
+				default:
+					// Post-evaluation threshold check (size-based
+					// exclusions under skew that the cheap pre-check
+					// could not decide).
+					if r.vio = th.Check(ev.Geometry); r.vio == nil {
+						r.ev = ev
+					}
+				}
+				return r
+			}
 			for {
 				sharder.Park()
 				batch, ok := <-work
@@ -241,7 +294,6 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 					if ctx.Err() != nil {
 						continue
 					}
-					r := evalResult{idx: item.idx}
 					if pruneOn {
 						if cut, ok := coll.Cutoff(); ok {
 							if lbCost, lbResp, bounded := eval.LowerBound(item.frag); bounded &&
@@ -252,28 +304,16 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 								// output. Unbounded candidates (e.g. share-vector
 								// failures) always fall through to evaluation so
 								// their failure modes are reproduced exactly.
-								r.skipped = true
 								select {
-								case out <- r:
+								case out <- evalResult{idx: item.idx, skipped: true}:
 								case <-ctx.Done():
 								}
 								continue
 							}
 						}
 					}
-					switch ev, err := eval.EvaluateWith(sc, item.frag); {
-					case err != nil:
-						r.err = fmt.Errorf("%s: %w", item.frag.Name(in.Schema), err)
-					default:
-						// Post-evaluation threshold check (size-based
-						// exclusions under skew that the cheap pre-check
-						// could not decide).
-						if r.vio = th.Check(ev.Geometry); r.vio == nil {
-							r.ev = ev
-						}
-					}
 					select {
-					case out <- r:
+					case out <- evalOne(item):
 					case <-ctx.Done():
 					}
 				}
@@ -294,8 +334,12 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	var done []evalResult
 	skipped := 0
 	for r := range out {
-		if ctx.Err() != nil {
-			continue // discard; keep draining so the workers can exit
+		// Workers never send a result after observing cancellation, so
+		// everything that arrives here is a complete verdict; under
+		// AllowPartial we keep collecting them (anytime advisory), without
+		// it we discard and keep draining so the workers can exit.
+		if ctx.Err() != nil && !in.AllowPartial {
+			continue
 		}
 		if r.skipped {
 			coll.AddSkipped()
@@ -307,8 +351,12 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 		}
 		done = append(done, r)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	// `out` is closed: every worker has exited, so done/skipped/preVios/
+	// survivors are final. If the context failed, either fail the run
+	// (default) or degrade gracefully into a partial Result (AllowPartial).
+	ctxErr := ctx.Err()
+	if ctxErr != nil && !in.AllowPartial {
+		return nil, ctxErr
 	}
 	res.Timings.Pipeline = time.Since(start) - res.Timings.Setup
 	rankStart := time.Now()
@@ -321,9 +369,21 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	res.PruneStats = PruneStats{
 		Enabled:   pruneOn,
 		Survivors: survivors,
-		Evaluated: survivors - skipped,
+		Evaluated: len(done), // == survivors-skipped on complete runs
 		Skipped:   skipped,
 	}
+	// Coverage accounts for the whole candidate space: everything not
+	// pre-excluded, evaluated, or skipped never reached a verdict.
+	// maxCands is exact for both sources (explicit list length;
+	// fragment.EnumerationSize for the full enumeration), so Remaining is
+	// 0 exactly when the run was complete — a cancelled run that happened
+	// to finish everything stays Partial=false and bit-identical.
+	res.Coverage = Coverage{
+		Evaluated: len(done),
+		Skipped:   skipped,
+		Remaining: maxCands - len(preVios) - len(done) - skipped,
+	}
+	res.Partial = in.AllowPartial && ctxErr != nil && res.Coverage.Remaining > 0
 	// Result.Evaluations is canonical: the retained leading set (plus
 	// evaluated capacity violators under RequireCapacity), restored to
 	// enumeration order. Evaluations outside it were evicted by the
@@ -333,6 +393,8 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 	res.Excluded = preVios
 	for _, r := range done {
 		switch {
+		case r.fault != nil:
+			res.Faults = append(res.Faults, *r.fault)
 		case r.err != nil:
 			res.EvalFailures = append(res.EvalFailures, r.err)
 		case r.vio != nil:
@@ -341,11 +403,18 @@ func AdviseContext(ctx context.Context, in *Input) (*Result, error) {
 			res.Evaluations = append(res.Evaluations, r.ev)
 		}
 	}
-	if survivors == 0 {
-		return res, fmt.Errorf("%w: all %d candidates excluded by thresholds", ErrNoFeasible, len(res.Excluded))
-	}
-	if len(res.Evaluations) == 0 {
-		return res, fmt.Errorf("%w: no candidate survived evaluation", ErrNoFeasible)
+	if !res.Partial {
+		if survivors == 0 {
+			return res, fmt.Errorf("%w: all %d candidates excluded by thresholds", ErrNoFeasible, len(res.Excluded))
+		}
+		if len(res.Evaluations) == 0 {
+			return res, fmt.Errorf("%w: no candidate survived evaluation", ErrNoFeasible)
+		}
+	} else if coll.Seen() == 0 {
+		// A partial pool may legitimately be empty — nothing finished
+		// pricing before the deadline. Ranked() refuses an empty pool, so
+		// return the well-formed (if uninformative) partial Result as is.
+		return res, nil
 	}
 	ranked, err := coll.Ranked()
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/apb"
+	"repro/internal/faults"
 	"repro/internal/fragment"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -99,6 +100,52 @@ func TestAdviseRobustnessSweep(t *testing.T) {
 		t.Fatal("no random trial advised successfully")
 	}
 	t.Logf("robustness sweep: %d advised, %d infeasible", ran, failed)
+}
+
+// TestAdviseRobustnessWithPanics re-runs the random-schema sweep with a
+// panic injected into every 3rd candidate evaluation: a panicking
+// candidate must become a Result.Faults entry — never a crash, never a
+// lost advisory. The invariant is the per-candidate recover in the
+// pipeline workers; the injection exercises it on arbitrary schemas.
+func TestAdviseRobustnessWithPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1109))
+	faulted := 0
+	for trial := 0; trial < 20; trial++ {
+		s := randomStar(rng)
+		m, err := workload.RandomMix(s, 1+rng.Intn(8), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := apb.Disk(1 + rng.Intn(64))
+		d.PrefetchPages = 1 << rng.Intn(7)
+		d.BitmapPrefetchPages = d.PrefetchPages
+		reg := faults.New()
+		reg.Enable(FaultEvaluate, faults.Schedule{EveryNth: 3}, faults.Outcome{
+			Panic: fmt.Sprintf("robustness trial %d", trial),
+		})
+		in := &Input{Schema: s, Mix: m, Disk: d, Parallelism: 1 + rng.Intn(8), Faults: reg}
+		res, err := Advise(in)
+		if err != nil {
+			// Acceptable: everything excluded, or so many candidates
+			// poisoned that none survived evaluation.
+			if !errors.Is(err, ErrNoFeasible) {
+				t.Fatalf("trial %d (%s): unexpected error %v", trial, s, err)
+			}
+			continue
+		}
+		if got, want := len(res.Faults), reg.Fired(FaultEvaluate); got != want {
+			t.Fatalf("trial %d: %d faults recorded, injector fired %d times", trial, got, want)
+		}
+		faulted += len(res.Faults)
+		for _, f := range res.Faults {
+			if f.Key == "" || f.Panic == "" {
+				t.Fatalf("trial %d: malformed fault %+v", trial, f)
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("sweep never exercised the panic-isolation path")
+	}
 }
 
 func TestAdviseRobustnessWithExplicitCandidates(t *testing.T) {

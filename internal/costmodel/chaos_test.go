@@ -1,0 +1,117 @@
+package costmodel
+
+// Chaos tests for the evaluator's panic-safety discipline: a worker that
+// recovers a mid-evaluation panic calls Scratch.Reset before pricing the
+// next candidate, and the poisoned buffers must not be able to change a
+// single later result.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apb"
+	"repro/internal/fragment"
+	"repro/internal/workload"
+)
+
+// TestScratchResetAfterPanicPoisoning simulates the worst state a panic
+// can abandon a worker-owned scratch in — every buffer scribbled with
+// garbage, cursors out of range, accumulators full of NaN — then applies
+// the pipeline's recovery discipline (Reset) and requires every
+// subsequent evaluation to be bit-identical to a fresh evaluator's.
+func TestScratchResetAfterPanicPoisoning(t *testing.T) {
+	s := apb.Schema(500_000)
+	m, err := apb.Mix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(&Config{Schema: s, Mix: m, Disk: apb.Disk(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the first dozen evaluable candidates (oversized ones the
+	// pipeline would exclude are skipped): enough to cover distinct
+	// shapes without turning the 4-pass comparison into a minute of CPU.
+	sc := e.NewScratch(nil)
+	var cands []*fragment.Fragmentation
+	var want []*Evaluation
+	for _, f := range fragment.Enumerate(s) {
+		ev, err := e.EvaluateWith(sc, f)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, f)
+		want = append(want, ev)
+		if len(cands) == 12 {
+			break
+		}
+	}
+	if len(cands) < 4 {
+		t.Fatalf("schema too small: %d evaluable candidates", len(cands))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	poison := func(es *evalScratch) {
+		for i := range es.busy {
+			es.busy[i] = math.NaN()
+		}
+		for i := range es.rbusy {
+			es.rbusy[i] = math.Inf(1)
+		}
+		for i := range es.cls {
+			es.cls[i] = sizeClassCost{w: math.NaN(), sel: -1}
+		}
+		for i := range es.idx {
+			es.idx[i] = rng.Int()
+			es.vals[i] = -rng.Int()
+			es.choice[i] = rng.Int()
+		}
+		es.touched = append(es.touched[:0], rng.Int(), rng.Int())
+		for i := range es.plans {
+			es.plans[i] = ClassPlan{HitProb: math.NaN(), RowSel: -1}
+		}
+		es.rng.Seed(int64(rng.Int()))
+	}
+
+	for trial := 0; trial < 2; trial++ {
+		poison(sc.es)
+		sc.Reset()
+		for i, f := range cands {
+			got, err := e.EvaluateWith(sc, f)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, f.Name(s), err)
+			}
+			if got.AccessCost != want[i].AccessCost || got.ResponseTime != want[i].ResponseTime {
+				t.Fatalf("trial %d %s: poisoned scratch leaked into results: %v/%v vs %v/%v",
+					trial, f.Name(s), got.AccessCost, got.ResponseTime,
+					want[i].AccessCost, want[i].ResponseTime)
+			}
+		}
+	}
+}
+
+// TestScratchResetKeepsSharderBinding: Reset swaps the buffers but must
+// keep the worker's sharder binding — losing it would silently turn off
+// intra-candidate sharding for the rest of the worker's life (a perf
+// bug, not a correctness one, which is exactly why a test has to pin it).
+func TestScratchResetKeepsSharderBinding(t *testing.T) {
+	s := apb.Schema(100_000)
+	m, err := workload.RandomMix(s, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(&Config{Schema: s, Mix: m, Disk: apb.Disk(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharder(4)
+	sc := e.NewScratch(sh)
+	sc.Reset()
+	if sc.es.sharder != sh {
+		t.Fatal("Reset dropped the sharder binding")
+	}
+	if _, err := e.EvaluateWith(sc, fragment.Enumerate(s)[0]); err != nil {
+		t.Fatal(err)
+	}
+}

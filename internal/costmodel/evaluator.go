@@ -142,8 +142,13 @@ func (e *Evaluator) geometry(f *fragment.Fragmentation) (*fragment.Geometry, err
 // prefer EvaluateWith with a worker-owned Scratch.
 func (e *Evaluator) Evaluate(f *fragment.Fragmentation) (*Evaluation, error) {
 	sc := e.getScratch(e.cfg.Disk.Disks, len(f.Attrs()), len(e.cfg.Mix.Classes))
-	defer e.scratch.Put(sc)
-	return e.evaluate(f, sc)
+	// The scratch returns to the pool only on a normal return: a panic
+	// may abandon it mid-mutation, and a poisoned scratch handed to a
+	// later evaluation could corrupt an unrelated candidate. On panic it
+	// is simply dropped — the pool reallocates.
+	ev, err := e.evaluate(f, sc)
+	e.scratch.Put(sc)
+	return ev, err
 }
 
 // EvaluateWith is Evaluate using a worker-owned Scratch (see NewScratch):

@@ -171,6 +171,29 @@ func (e *Evaluator) priceSizeClasses(plan *ClassPlan, pageSize int, sz *fragment
 	}
 	parts := extra + 1
 	stride := (k + parts - 1) / parts
+	// A panic in any range — a borrowed goroutine's or the caller's own —
+	// must neither crash the process (a panic on a bare goroutine is
+	// unrecoverable) nor leak borrowed tokens: every range runs under
+	// recover, the first panic value is kept, and once all ranges have
+	// finished and the tokens are back the panic re-raises on the calling
+	// goroutine, where the pipeline worker's per-candidate recover
+	// isolates it.
+	var (
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	safeFill := func(lo, hi int) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = p
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fill(lo, hi)
+	}
 	var wg sync.WaitGroup
 	for p := 1; p < parts; p++ {
 		lo := p * stride
@@ -181,11 +204,14 @@ func (e *Evaluator) priceSizeClasses(plan *ClassPlan, pageSize int, sz *fragment
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fill(lo, hi)
+			safeFill(lo, hi)
 		}()
 	}
-	fill(0, min(stride, k))
+	safeFill(0, min(stride, k))
 	wg.Wait()
 	sc.sharder.release(extra)
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return cls
 }

@@ -106,6 +106,18 @@ func (e *Evaluator) NewScratch(sharder *Sharder) *Scratch {
 	return &Scratch{es: es}
 }
 
+// Reset discards the scratch's buffers and replaces them with fresh
+// ones, keeping the sharder binding. A panic during EvaluateWith may
+// abandon the buffers mid-mutation (half-filled cost tables, dirty
+// accumulators); a pipeline worker that recovers such a panic must
+// Reset before pricing the next candidate so the poisoned state cannot
+// leak into an unrelated evaluation.
+func (s *Scratch) Reset() {
+	sharder := s.es.sharder
+	s.es = newEvalScratch()
+	s.es.sharder = sharder
+}
+
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)

@@ -1,0 +1,207 @@
+// Package faults is the fault-injection harness of the WARLOCK stack: a
+// registry of named failpoints that production code fires at its
+// failure-prone seams (candidate evaluation, checkpoint persistence, the
+// server's evaluation path) and that chaos tests arm with deterministic
+// trigger schedules.
+//
+// The design is build-tag-free and nil-by-default: components carry a
+// *Registry that is nil in production, and every method is a no-op on a
+// nil receiver, so an unarmed failpoint costs one nil check and nothing
+// else — no global state, no init-order coupling, no conditional
+// compilation. Tests construct a Registry, Enable the failpoints they
+// want with a Schedule (skip the first AfterK hits, then trigger every
+// EveryNth-th, at most Times total) and an Outcome (an error, a panic, a
+// delay, or a torn write), and thread it through the component's
+// configuration.
+//
+// Determinism: a failpoint's trigger decision depends only on its own
+// hit counter, so a fixed schedule against a fixed call sequence always
+// fires on the same hits. Under a concurrent pipeline the hit ORDER
+// across goroutines is scheduling-dependent — which candidate absorbs
+// the Nth hit varies — so chaos assertions must be schedule-agnostic
+// (count faults, never name them).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel every defaulted injected error wraps.
+// Components classifying failures (e.g. the jobs retry policy) treat an
+// error matching errors.Is(err, ErrInjected) as transient; tests arming
+// failpoints with their own Outcome.Err should wrap ErrInjected when
+// they want that classification.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Injected reports whether err is (or wraps) an injected failure.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Schedule decides which hits of a failpoint trigger its outcome. The
+// zero value triggers on every hit.
+type Schedule struct {
+	// AfterK skips the first K hits (0 = trigger from the first hit).
+	AfterK int
+	// EveryNth triggers every Nth hit after the AfterK prefix
+	// (<= 1 = every hit). The first trigger is hit AfterK+EveryNth.
+	EveryNth int
+	// Times caps the total number of triggers (<= 0 = unlimited).
+	Times int
+}
+
+// Outcome is what an armed failpoint does when its schedule triggers.
+// Exactly how each field is honoured depends on the call site: Fire
+// returns the outcome for the caller to interpret (persistence seams
+// turn Torn into a truncated write), while Hit interprets Err and Panic
+// directly. Delay is always applied first, by Fire itself.
+type Outcome struct {
+	// Err is returned from Hit (and surfaced by Fire) when triggered.
+	// Enable defaults it to an ErrInjected-wrapping error when the
+	// outcome specifies no other action.
+	Err error
+	// Panic, when non-nil, is the value Hit panics with — exercising the
+	// recover paths the registry exists to test.
+	Panic any
+	// Delay is slept before the outcome is surfaced (injected latency;
+	// may be the whole outcome).
+	Delay time.Duration
+	// Torn, in (0, 1], asks write-shaped call sites to persist only that
+	// fraction of the payload and stop — the crashed-mid-write case.
+	Torn float64
+}
+
+// point is one armed failpoint.
+type point struct {
+	sched Schedule
+	out   Outcome
+	hits  int // Fire calls observed
+	fired int // triggers delivered
+}
+
+// Registry holds armed failpoints by name. The zero value and the nil
+// pointer are both valid, permanently-disarmed registries; New returns
+// one ready for Enable. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Enable arms (or re-arms, resetting counters) the named failpoint.
+// An outcome with no error, panic, delay or torn fraction gets a
+// default error wrapping ErrInjected, so Enable(name, Schedule{},
+// Outcome{}) is the minimal "this point now fails" arming.
+func (r *Registry) Enable(name string, s Schedule, o Outcome) {
+	if r == nil {
+		return
+	}
+	if o.Err == nil && o.Panic == nil && o.Delay <= 0 && o.Torn <= 0 {
+		o.Err = fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.points == nil {
+		r.points = make(map[string]*point)
+	}
+	r.points[name] = &point{sched: s, out: o}
+}
+
+// Disable disarms the named failpoint.
+func (r *Registry) Disable(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.points, name)
+}
+
+// Fire records one hit of the named failpoint and, when the schedule
+// triggers, sleeps the outcome's Delay and returns a copy of the
+// outcome for the call site to interpret. Nil means "not triggered"
+// (unarmed point, nil registry, or a non-triggering hit) and is the
+// production fast path.
+func (r *Registry) Fire(name string) *Outcome {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	p := r.points[name]
+	if p == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if !p.triggersLocked() {
+		r.mu.Unlock()
+		return nil
+	}
+	p.fired++
+	o := p.out
+	r.mu.Unlock()
+	if o.Delay > 0 {
+		time.Sleep(o.Delay)
+	}
+	return &o
+}
+
+// triggersLocked applies the schedule to the just-recorded hit.
+func (p *point) triggersLocked() bool {
+	if p.sched.Times > 0 && p.fired >= p.sched.Times {
+		return false
+	}
+	rem := p.hits - p.sched.AfterK
+	if rem < 1 {
+		return false
+	}
+	n := p.sched.EveryNth
+	if n <= 1 {
+		return true
+	}
+	return rem%n == 0
+}
+
+// Hit is Fire for error-or-panic call sites: when the failpoint
+// triggers, it panics with Outcome.Panic if set, otherwise returns
+// Outcome.Err (which may be nil for delay-only outcomes).
+func (r *Registry) Hit(name string) error {
+	o := r.Fire(name)
+	if o == nil {
+		return nil
+	}
+	if o.Panic != nil {
+		panic(o.Panic)
+	}
+	return o.Err
+}
+
+// Hits returns how many times the named failpoint has been fired at
+// (armed points only; an unarmed name reports 0).
+func (r *Registry) Hits(name string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired returns how many times the named failpoint has triggered.
+func (r *Registry) Fired(name string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.points[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsDisarmed(t *testing.T) {
+	var r *Registry
+	r.Enable("x", Schedule{}, Outcome{}) // must not panic
+	r.Disable("x")
+	if o := r.Fire("x"); o != nil {
+		t.Fatalf("nil registry Fire = %+v, want nil", o)
+	}
+	if err := r.Hit("x"); err != nil {
+		t.Fatalf("nil registry Hit = %v, want nil", err)
+	}
+	if r.Hits("x") != 0 || r.Fired("x") != 0 {
+		t.Fatal("nil registry reports non-zero counters")
+	}
+}
+
+func TestUnarmedPointNeverTriggers(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		if err := r.Hit("unarmed"); err != nil {
+			t.Fatalf("unarmed Hit = %v", err)
+		}
+	}
+	if r.Hits("unarmed") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestDefaultOutcomeWrapsErrInjected(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{})
+	err := r.Hit("p")
+	if !Injected(err) {
+		t.Fatalf("default outcome error %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestScheduleAfterKEveryNthTimes(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{AfterK: 2, EveryNth: 3, Times: 2}, Outcome{})
+	var triggered []int
+	for hit := 1; hit <= 14; hit++ {
+		if r.Hit("p") != nil {
+			triggered = append(triggered, hit)
+		}
+	}
+	// Skip hits 1-2, then every 3rd of the rest: hits 5 and 8; Times=2
+	// stops hit 11 and beyond.
+	want := []int{5, 8}
+	if len(triggered) != len(want) || triggered[0] != want[0] || triggered[1] != want[1] {
+		t.Fatalf("triggered on hits %v, want %v", triggered, want)
+	}
+	if got := r.Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := r.Hits("p"); got != 14 {
+		t.Fatalf("Hits = %d, want 14", got)
+	}
+}
+
+func TestZeroScheduleTriggersEveryHit(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{})
+	for i := 0; i < 5; i++ {
+		if r.Hit("p") == nil {
+			t.Fatalf("hit %d did not trigger", i+1)
+		}
+	}
+}
+
+func TestHitPanicsWithConfiguredValue(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{Panic: "boom"})
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recovered %v, want boom", p)
+		}
+	}()
+	r.Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+func TestCustomErrorPassesThrough(t *testing.T) {
+	want := errors.New("disk on fire")
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{Err: want})
+	if err := r.Hit("p"); !errors.Is(err, want) {
+		t.Fatalf("Hit = %v, want %v", err, want)
+	}
+	if Injected(errors.New("unrelated")) {
+		t.Fatal("Injected matched an unrelated error")
+	}
+}
+
+func TestDelayOnlyOutcome(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{Delay: time.Millisecond})
+	start := time.Now()
+	if err := r.Hit("p"); err != nil {
+		t.Fatalf("delay-only Hit = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 1ms", elapsed)
+	}
+}
+
+func TestTornOutcomeSurfacesViaFire(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{}, Outcome{Torn: 0.5})
+	o := r.Fire("p")
+	if o == nil || o.Torn != 0.5 {
+		t.Fatalf("Fire = %+v, want Torn 0.5", o)
+	}
+	if o.Err != nil {
+		t.Fatalf("torn outcome carries error %v, want nil", o.Err)
+	}
+}
+
+func TestReEnableResetsCounters(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{Times: 1}, Outcome{})
+	r.Hit("p")
+	if r.Hit("p") != nil {
+		t.Fatal("Times=1 triggered twice")
+	}
+	r.Enable("p", Schedule{Times: 1}, Outcome{})
+	if r.Hit("p") == nil {
+		t.Fatal("re-armed point did not trigger")
+	}
+}
+
+func TestConcurrentFireCountsExactly(t *testing.T) {
+	r := New()
+	r.Enable("p", Schedule{EveryNth: 5}, Outcome{})
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Hits("p"); got != goroutines*per {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Fired("p"); got != goroutines*per/5 {
+		t.Fatalf("Fired = %d, want %d", got, goroutines*per/5)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // State is a job's lifecycle phase.
@@ -65,7 +67,14 @@ var ErrStoreFull = errors.New("jobs: store full, no finished job to evict")
 const (
 	DefaultTTL     = 15 * time.Minute
 	DefaultMaxJobs = 64
+	// DefaultRetryBackoff is the first retry delay when Config.Retries is
+	// set without an explicit backoff; it doubles per attempt, capped at
+	// maxRetryBackoff.
+	DefaultRetryBackoff = time.Second
 )
+
+// maxRetryBackoff caps the exponential backoff between retries.
+const maxRetryBackoff = time.Minute
 
 // Config tunes a Manager.
 type Config struct {
@@ -84,9 +93,37 @@ type Config struct {
 	// checkpoints for restart recovery. The directory is created on
 	// first use.
 	Dir string
+	// Retries is how many times a failed run is retried before the job
+	// fails for good (<= 0 disables retries). Only errors Transient
+	// classifies as retryable are retried, never cancellations; between
+	// attempts the worker sleeps an exponential backoff starting at
+	// RetryBackoff (doubling per attempt, capped at one minute). Retried
+	// runs re-execute the same Runner with the same Job — checkpoints
+	// recorded by earlier attempts remain visible, so runners that consult
+	// Job.ResumeCheckpoints-style state must be idempotent per key (the
+	// server's runners are: they re-check caches and rewrite checkpoints
+	// keyed by scenario index).
+	Retries int
+	// RetryBackoff is the first retry delay (<= 0 uses
+	// DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Transient classifies a Runner error as worth retrying. Nil retries
+	// nothing — misclassifying a deterministic failure (bad config, no
+	// feasible candidate) as transient would burn Retries runs to produce
+	// the same error, so the policy is opt-in and owned by the caller who
+	// knows the error taxonomy.
+	Transient func(error) bool
+	// Faults optionally arms the fault-injection harness on the
+	// persistence path (failpoints FaultSpecWrite, FaultSpecRename,
+	// FaultCkptAppend, FaultCkptSync). Nil — the production default —
+	// disarms it; see package faults.
+	Faults *faults.Registry
 
 	// now is the test seam for TTL expiry (nil uses time.Now).
 	now func() time.Time
+	// sleep is the test seam for retry backoff (nil sleeps on a real
+	// timer); it returns false when ctx ends the wait early.
+	sleep func(ctx context.Context, d time.Duration) bool
 }
 
 // Totals is a snapshot of the manager's lifetime counters and current
@@ -100,6 +137,15 @@ type Totals struct {
 	// ScenariosCompleted counts per-scenario completion callbacks
 	// recorded via Job.AddScenarios across all jobs.
 	ScenariosCompleted int64
+	// Retries counts transient-failure re-runs across all jobs.
+	Retries int64
+	// CheckpointFailures counts checkpoint lines that could not be
+	// durably recorded (write, marshal or fsync failure). Checkpointing
+	// degrades silently by design — a lost line only costs recomputation
+	// after a restart — but the failures must still surface somewhere,
+	// and this counter (exported as warlockd_job_checkpoint_failures_total)
+	// is that somewhere.
+	CheckpointFailures int64
 	// Running and Queued are current gauges.
 	Running, Queued int64
 }
@@ -323,8 +369,14 @@ func New(cfg Config) *Manager {
 	if cfg.MaxRunning <= 0 {
 		cfg.MaxRunning = 1
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = sleepCtx
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -503,7 +555,47 @@ func (m *Manager) runJob(j *Job, run Runner) {
 		return
 	}
 	b, err := run(j.ctx, j)
+	// Retry policy: transient failures (as classified by Config.Transient)
+	// re-run the job after an exponential backoff, as long as the job
+	// itself is still live — a cancellation is user intent, never retried.
+	// The backoff sleeps on the seam'd clock so tests drive it
+	// deterministically.
+	for attempt := 0; attempt < m.cfg.Retries && m.retryable(j, err); attempt++ {
+		m.counts(func(t *Totals) { t.Retries++ })
+		backoff := m.cfg.RetryBackoff << attempt
+		if backoff > maxRetryBackoff || backoff <= 0 { // <= 0: shift overflow
+			backoff = maxRetryBackoff
+		}
+		if !m.cfg.sleep(j.ctx, backoff) {
+			break
+		}
+		b, err = run(j.ctx, j)
+	}
 	j.finish(b, err)
+}
+
+// retryable reports whether a run error should consume a retry: the
+// error must be transient per policy and the job still live (its own
+// context intact, the failure not itself a cancellation surfacing as an
+// error).
+func (m *Manager) retryable(j *Job, err error) bool {
+	return err != nil && m.cfg.Transient != nil &&
+		j.ctx.Err() == nil &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) &&
+		m.cfg.Transient(err)
+}
+
+// sleepCtx is the production retry backoff: a real timer, interruptible
+// by ctx.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // start transitions queued → running; false when the job was cancelled
@@ -517,7 +609,10 @@ func (j *Job) start() bool {
 	j.state = StateRunning
 	j.started = j.m.now()
 	if j.m.cfg.Dir != "" {
-		j.ckpt = openCheckpoint(j.m.cfg.Dir, j.id)
+		m := j.m
+		j.ckpt = openCheckpoint(m.cfg.Dir, j.id, m.cfg.Faults, func() {
+			m.counts(func(t *Totals) { t.CheckpointFailures++ })
+		})
 	}
 	j.m.counts(func(t *Totals) { t.Queued--; t.Running++ })
 	return true

@@ -8,6 +8,26 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/faults"
+)
+
+// Fault-injection points of the persistence path (see Config.Faults and
+// package faults). Each fires immediately before the real operation it
+// simulates failing.
+const (
+	// FaultSpecWrite fails the submission document's tmp-file write.
+	FaultSpecWrite = "jobs/spec-write"
+	// FaultSpecRename fails the atomic rename that publishes the
+	// submission document.
+	FaultSpecRename = "jobs/spec-rename"
+	// FaultCkptAppend fails one checkpoint line's write. An Outcome with
+	// Torn > 0 instead writes that leading fraction of the line and no
+	// newline — the on-disk shape an interrupted write leaves behind.
+	FaultCkptAppend = "jobs/ckpt-append"
+	// FaultCkptSync fails one checkpoint line's fsync (the line itself
+	// was written).
+	FaultCkptSync = "jobs/ckpt-sync"
 )
 
 // On-disk layout under Config.Dir, one pair of files per unfinished job:
@@ -54,7 +74,14 @@ func (m *Manager) persistSpec(j *Job) error {
 	}
 	path := filepath.Join(m.cfg.Dir, j.id+specExt)
 	tmp := path + ".tmp"
+	if err := m.cfg.Faults.Hit(FaultSpecWrite); err != nil {
+		return err
+	}
 	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := m.cfg.Faults.Hit(FaultSpecRename); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -76,45 +103,90 @@ func (m *Manager) removeFiles(id string) {
 type checkpointFile struct {
 	mu sync.Mutex
 	f  *os.File
+	// faults arms the FaultCkptAppend/FaultCkptSync failpoints (nil
+	// disarms); onFail — never nil in a Manager-owned file — counts each
+	// line that failed to record durably.
+	faults *faults.Registry
+	onFail func()
 }
 
 // openCheckpoint opens (or creates) the job's checkpoint file for
 // appending. Returns nil on error: checkpointing degrades to "recompute
-// after restart", it never blocks the job.
-func openCheckpoint(dir, id string) *checkpointFile {
+// after restart", it never blocks the job. onFail is invoked once per
+// checkpoint line that could not be recorded durably.
+func openCheckpoint(dir, id string, reg *faults.Registry, onFail func()) *checkpointFile {
 	f, err := os.OpenFile(filepath.Join(dir, id+ckptExt),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		if onFail != nil {
+			onFail()
+		}
 		return nil
 	}
-	return &checkpointFile{f: f}
+	return &checkpointFile{f: f, faults: reg, onFail: onFail}
+}
+
+// fail counts one checkpoint line lost to a write/marshal/fsync failure.
+func (c *checkpointFile) fail() {
+	if c.onFail != nil {
+		c.onFail()
+	}
 }
 
 // append durably writes one checkpoint line. Each line is fsynced: a
 // checkpoint the caller believes recorded must survive a crash, and one
 // fsync per completed sweep scenario is noise next to the scenario's
-// evaluation cost.
+// evaluation cost. Failures are swallowed (recovery just recomputes the
+// scenario) but counted via fail, so they are observable.
 func (c *checkpointFile) append(key int, v any) {
 	if c == nil {
 		return
 	}
 	vb, err := json.Marshal(v)
 	if err != nil {
+		c.fail()
 		return
 	}
 	b, err := json.Marshal(ckptLine{K: key, V: vb})
 	if err != nil {
+		c.fail()
 		return
 	}
+	line := append(b, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return
 	}
-	if _, err := c.f.Write(append(b, '\n')); err != nil {
+	if o := c.faults.Fire(FaultCkptAppend); o != nil {
+		// Injected append failure. Torn > 0 simulates the crash shape a
+		// real interrupted write leaves: a leading fraction of the line,
+		// no trailing newline.
+		if o.Torn > 0 {
+			n := int(float64(len(line)) * o.Torn)
+			if n < 1 {
+				n = 1
+			}
+			if n >= len(line) {
+				n = len(line) - 1
+			}
+			c.f.Write(line[:n])
+			c.f.Sync()
+		}
+		c.fail()
 		return
 	}
-	c.f.Sync()
+	if _, err := c.f.Write(line); err != nil {
+		c.fail()
+		return
+	}
+	if err := c.faults.Hit(FaultCkptSync); err != nil {
+		c.fail()
+		return
+	}
+	if err := c.f.Sync(); err != nil {
+		c.fail()
+	}
 }
 
 func (c *checkpointFile) close() {
@@ -172,38 +244,52 @@ func LoadPending(dir string) (pending []Pending, errs []error) {
 			continue
 		}
 		p := Pending{ID: id, Kind: sf.Kind, Spec: sf.Spec}
-		p.Resume = loadCheckpoints(filepath.Join(dir, id+ckptExt))
+		var ckErrs []error
+		p.Resume, ckErrs = loadCheckpoints(filepath.Join(dir, id+ckptExt))
+		errs = append(errs, ckErrs...)
 		pending = append(pending, p)
 	}
 	return pending, errs
 }
 
-// loadCheckpoints reads a JSONL checkpoint file; any undecodable line
-// ends the scan (an interrupted final write), keeping every line before
-// it. Later duplicates of a key win — they are rewrites of the same
-// completed scenario.
-func loadCheckpoints(path string) map[int]json.RawMessage {
+// loadCheckpoints reads a JSONL checkpoint file. An undecodable FINAL
+// line is the expected crash shape — a torn interrupted write — and is
+// silently dropped, surrendering at most one scenario. An undecodable
+// line in the MIDDLE of the file is genuine corruption: it is reported
+// (so the operator hears about it) and skipped, and since its key never
+// enters the resume map, the resumed job simply re-runs that scenario —
+// corruption costs recomputation, never wrong results. Later duplicates
+// of a key win — they are rewrites of the same completed scenario.
+func loadCheckpoints(path string) (map[int]json.RawMessage, []error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	defer f.Close()
-	var out map[int]json.RawMessage
+	var lines []string
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			lines = append(lines, line)
 		}
+	}
+	var out map[int]json.RawMessage
+	var errs []error
+	for i, line := range lines {
 		var cl ckptLine
 		if err := json.Unmarshal([]byte(line), &cl); err != nil {
-			break
+			if i == len(lines)-1 {
+				break // torn final write: the crash this format expects
+			}
+			errs = append(errs, fmt.Errorf("jobs: corrupt checkpoint line %d in %s (scenario will be re-run): %v",
+				i+1, filepath.Base(path), err))
+			continue
 		}
 		if out == nil {
 			out = make(map[int]json.RawMessage)
 		}
 		out[cl.K] = cl.V
 	}
-	return out
+	return out, errs
 }

@@ -281,7 +281,14 @@ func jobSweepOptions(j *jobs.Job, opts *sweep.Options) {
 			}
 		})
 		if !p.Resumed {
-			j.Checkpoint(p.Rep, p.Outcome)
+			// Partial outcomes are timing-dependent and must never seed a
+			// resume: a resumed sweep replays checkpoints byte-identically,
+			// so only complete scenario outcomes are durable. (sweep.Run
+			// already suppresses notifications once its context fails —
+			// this guard keeps the invariant local and explicit.)
+			if !p.Outcome.Partial {
+				j.Checkpoint(p.Rep, p.Outcome)
+			}
 			j.AddScenarios(p.Group)
 		}
 	}

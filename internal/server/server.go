@@ -53,6 +53,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/jobs"
 	"repro/internal/lru"
 	"repro/internal/schema"
@@ -92,6 +94,29 @@ var (
 	// evaluation slot without getting one.
 	errQueueTimeout = errors.New("server: gave up waiting for an evaluation slot")
 )
+
+// FaultEvaluate is the service-level fault-injection point fired once
+// per advisory evaluation, after the slot is acquired and before the
+// pipeline runs (see Config.Faults). The pipeline's own per-candidate
+// failpoint is core.FaultEvaluate.
+const FaultEvaluate = "server/evaluate"
+
+// transientJobError is the job retry policy: retry what a later attempt
+// could plausibly survive — overload rejections, injected faults,
+// filesystem errors — and never what is deterministic for the submitted
+// document (bad configs, infeasible advisories), where a retry would
+// reproduce the same failure.
+func transientJobError(err error) bool {
+	switch {
+	case errors.Is(err, config.ErrBadConfig), errors.Is(err, core.ErrNoFeasible):
+		return false
+	case errors.Is(err, errShed), errors.Is(err, errQueueTimeout), faults.Injected(err):
+		return true
+	}
+	var pathErr *os.PathError
+	var sysErr *os.SyscallError
+	return errors.As(err, &pathErr) || errors.As(err, &sysErr)
+}
 
 // Config tunes the advisory service.
 type Config struct {
@@ -141,6 +166,26 @@ type Config struct {
 	// checkpoints so a restarted daemon resumes interrupted sweeps from
 	// their last completed scenario.
 	JobsDir string
+	// JobRetries is how many times an asynchronous job's transient
+	// failure (overload shed, queue timeout, injected fault, I/O error)
+	// is retried with exponential backoff before the job fails for good
+	// (<= 0 disables retries). Deterministic failures — bad configs,
+	// infeasible advisories — never retry.
+	JobRetries int
+
+	// AllowPartial turns request-deadline expiry on /v1/advise into
+	// graceful degradation: instead of a 504, the response carries the
+	// best-so-far ranking with "partial": true and a coverage breakdown
+	// (see core.Input.AllowPartial). Partial responses are never cached —
+	// what a partial run covered is timing-dependent, and the response
+	// cache must stay byte-deterministic.
+	AllowPartial bool
+	// Faults optionally arms the fault-injection harness across the
+	// service: the advise evaluation path (core.FaultEvaluate and the
+	// server-level FaultEvaluate failpoint) and the job persistence path
+	// (jobs.FaultSpecWrite and friends). Nil — the production default —
+	// disarms everything; see package faults.
+	Faults *faults.Registry
 }
 
 // Metrics is a snapshot of the service counters (also rendered by
@@ -179,6 +224,10 @@ type Metrics struct {
 	// (advise candidates plus sweep representatives). Diagnostic only.
 	PruneEvaluated int64
 	PruneSkipped   int64
+	// EvalPanics counts per-candidate evaluation panics the pipeline
+	// isolated (exported as warlockd_eval_panics_total): each one is a
+	// candidate that would have crashed the daemon without isolation.
+	EvalPanics int64
 	// SchemaHits / SchemaMisses count interned-schema cache lookups.
 	SchemaHits   int64
 	SchemaMisses int64
@@ -223,6 +272,9 @@ type Server struct {
 
 	jobs    *jobs.Manager
 	jobsDir string
+
+	allowPartial bool
+	faults       *faults.Registry
 
 	mu          sync.Mutex
 	adviseCache *lru.Cache[string, []byte]
@@ -277,6 +329,8 @@ func New(cfg Config) *Server {
 		adviseCache:   lru.New[string, []byte](cacheSize),
 		sweepCache:    lru.New[string, []byte](cacheSize),
 		schemas:       lru.New[string, *schemaEntry](schemaSize),
+		allowPartial:  cfg.AllowPartial,
+		faults:        cfg.Faults,
 	}
 	maxRunning := cfg.MaxRunningJobs
 	if maxRunning <= 0 {
@@ -293,6 +347,9 @@ func New(cfg Config) *Server {
 		MaxJobs:    cfg.MaxJobs,
 		MaxRunning: maxRunning,
 		Dir:        cfg.JobsDir,
+		Retries:    cfg.JobRetries,
+		Transient:  transientJobError,
+		Faults:     cfg.Faults,
 	})
 	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
@@ -476,6 +533,8 @@ func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string
 	// field-identical, and mix predicates reference it by index.
 	in.Schema = star
 	in.EvalCache = evalCache
+	in.AllowPartial = s.allowPartial
+	in.Faults = s.faults
 	qt := time.Now()
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
@@ -487,6 +546,9 @@ func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string
 	if s.evalHook != nil {
 		s.evalHook(ctx)
 	}
+	if err := s.faults.Hit(FaultEvaluate); err != nil {
+		return nil, err
+	}
 	et := time.Now()
 	res, err := core.AdviseContext(ctx, in)
 	st.evaluate = time.Since(et)
@@ -497,6 +559,7 @@ func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string
 	s.count(func(m *Metrics) {
 		m.PruneEvaluated += int64(res.PruneStats.Evaluated)
 		m.PruneSkipped += int64(res.PruneStats.Skipped)
+		m.EvalPanics += int64(len(res.Faults))
 	})
 	mt := time.Now()
 	b, err := json.MarshalIndent(buildAdviseResponse(fp, in, res), "", "  ")
@@ -506,7 +569,13 @@ func (s *Server) evalAdvise(ctx context.Context, doc *config.Document, fp string
 	b = ensureTrailingNewline(b)
 	st.serialize = time.Since(mt)
 	s.adviseStats.serialize.observe(st.serialize)
-	s.cacheAdd(s.adviseCache, fp, b)
+	// A partial advisory is best-effort and timing-dependent; caching it
+	// would replay an arbitrary degraded snapshot to later (healthy)
+	// requests, so only complete responses enter the byte-deterministic
+	// response cache.
+	if !res.Partial {
+		s.cacheAdd(s.adviseCache, fp, b)
+	}
 	return b, nil
 }
 
@@ -533,6 +602,10 @@ func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string,
 	star, evalCache := s.internSchema(doc.Base.SchemaFingerprint(), base.Schema)
 	base.Schema = star
 	base.EvalCache = evalCache
+	// Sweeps get the fault registry (panic isolation must hold there too)
+	// but not AllowPartial semantics at the HTTP layer: sweep.Run fails
+	// the whole run on cancellation, so a sweep response is never partial.
+	base.Faults = s.faults
 	qt := time.Now()
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
@@ -544,6 +617,9 @@ func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string,
 	if s.evalHook != nil {
 		s.evalHook(ctx)
 	}
+	if err := s.faults.Hit(FaultEvaluate); err != nil {
+		return nil, err
+	}
 	et := time.Now()
 	rep, err := sweep.Run(ctx, base, grid, opts)
 	st.evaluate = time.Since(et)
@@ -554,6 +630,7 @@ func (s *Server) evalSweep(ctx context.Context, doc *config.SweepDoc, fp string,
 	s.count(func(m *Metrics) {
 		m.PruneEvaluated += int64(rep.PruneEvaluated)
 		m.PruneSkipped += int64(rep.PruneSkipped)
+		m.EvalPanics += int64(rep.EvalPanics)
 	})
 	mt := time.Now()
 	var buf bytes.Buffer
@@ -602,6 +679,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "warlockd_client_gone_total %d\n", m.ClientGone)
 	fmt.Fprintf(w, "warlockd_prune_evaluated_total %d\n", m.PruneEvaluated)
 	fmt.Fprintf(w, "warlockd_prune_skipped_total %d\n", m.PruneSkipped)
+	fmt.Fprintf(w, "warlockd_eval_panics_total %d\n", m.EvalPanics)
 	fmt.Fprintf(w, "warlockd_in_flight %d\n", m.InFlight)
 	fmt.Fprintf(w, "warlockd_queue_depth %d\n", m.QueueDepth)
 	fmt.Fprintf(w, "warlockd_schema_cache_hits_total %d\n", m.SchemaHits)
@@ -617,6 +695,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "warlockd_jobs_submitted_total %d\n", m.Jobs.Submitted)
 	fmt.Fprintf(w, "warlockd_jobs_coalesced_total %d\n", m.Jobs.Coalesced)
 	fmt.Fprintf(w, "warlockd_job_scenarios_completed_total %d\n", m.Jobs.ScenariosCompleted)
+	fmt.Fprintf(w, "warlockd_job_retries_total %d\n", m.Jobs.Retries)
+	fmt.Fprintf(w, "warlockd_job_checkpoint_failures_total %d\n", m.Jobs.CheckpointFailures)
 	fmt.Fprintf(w, "warlockd_jobs_stored %d\n", m.JobsStored)
 	s.adviseStats.write(w, "warlockd_request_stage_seconds")
 	s.sweepStats.write(w, "warlockd_request_stage_seconds")
@@ -816,6 +896,25 @@ type AdviseResponse struct {
 	EvaluatedCandidates int `json:"evaluatedCandidates"`
 	ExcludedCandidates  int `json:"excludedCandidates"`
 	EvalFailures        int `json:"evalFailures"`
+	// FaultedCandidates counts candidates whose evaluation panicked and
+	// was isolated (core.Result.Faults). omitempty: absent on clean runs,
+	// so pre-existing response bytes are unchanged.
+	FaultedCandidates int `json:"faultedCandidates,omitempty"`
+	// Partial marks a gracefully degraded advisory (Config.AllowPartial +
+	// request deadline): Candidates is the best-so-far ranking over the
+	// covered slice of the space, described by Coverage. Both fields are
+	// absent on complete runs — complete response bytes are identical
+	// with and without AllowPartial.
+	Partial  bool           `json:"partial,omitempty"`
+	Coverage *CoverageStats `json:"coverage,omitempty"`
+}
+
+// CoverageStats is the candidate-space accounting of a partial advisory
+// (core.Coverage).
+type CoverageStats struct {
+	Evaluated int `json:"evaluated"`
+	Skipped   int `json:"skipped"`
+	Remaining int `json:"remaining"`
 }
 
 // Candidate is one ranked fragmentation in an AdviseResponse.
@@ -857,6 +956,15 @@ func buildAdviseResponse(fp string, in *core.Input, res *core.Result) *AdviseRes
 		EvaluatedCandidates: len(res.Evaluations),
 		ExcludedCandidates:  len(res.Excluded),
 		EvalFailures:        len(res.EvalFailures),
+		FaultedCandidates:   len(res.Faults),
+	}
+	if res.Partial {
+		resp.Partial = true
+		resp.Coverage = &CoverageStats{
+			Evaluated: res.Coverage.Evaluated,
+			Skipped:   res.Coverage.Skipped,
+			Remaining: res.Coverage.Remaining,
+		}
 	}
 	for i, rk := range res.Ranked {
 		ev := rk.Eval

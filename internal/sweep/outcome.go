@@ -25,6 +25,17 @@ type Outcome struct {
 	HasResult      bool `json:"hasResult,omitempty"`
 	PruneEvaluated int  `json:"pruneEvaluated,omitempty"`
 	PruneSkipped   int  `json:"pruneSkipped,omitempty"`
+	// Partial mirrors core.Result.Partial: the advisory degraded
+	// gracefully under cancellation and covers only part of the candidate
+	// space. Partial outcomes are never checkpointed (they are
+	// timing-dependent; a resumed sweep must replay byte-identically), so
+	// the field is zero on every persisted Outcome — it exists for
+	// in-process consumers. Additive omitempty field: absent from all
+	// pre-existing checkpoint lines, which therefore keep decoding.
+	Partial bool `json:"partial,omitempty"`
+	// EvalPanics counts candidates whose evaluation panicked and was
+	// isolated (len of core.Result.Faults). Additive omitempty field.
+	EvalPanics int `json:"evalPanics,omitempty"`
 	// HasWinner reports a successful advisory with a ranked winner; the
 	// remaining fields describe that winner.
 	HasWinner  bool   `json:"hasWinner,omitempty"`
@@ -50,6 +61,8 @@ func outcomeOf(sc *Scenario, res *core.Result, err error) Outcome {
 		o.HasResult = true
 		o.PruneEvaluated = res.PruneStats.Evaluated
 		o.PruneSkipped = res.PruneStats.Skipped
+		o.Partial = res.Partial
+		o.EvalPanics = len(res.Faults)
 		if ev := res.Best(); err == nil && ev != nil {
 			o.HasWinner = true
 			o.Winner = ev.Frag.Name(sc.Input.Schema)

@@ -78,6 +78,10 @@ type Report struct {
 	// only — shared scenarios are not double-counted). Diagnostic only,
 	// schedule-dependent; deliberately absent from WriteJSON.
 	PruneEvaluated, PruneSkipped int
+	// EvalPanics aggregates isolated per-candidate evaluation panics over
+	// the distinct advisories (the service's panic metric feeds from it).
+	// Diagnostic only; deliberately absent from WriteJSON.
+	EvalPanics int
 }
 
 // Run expands the grid and evaluates every scenario through the shared,
@@ -213,6 +217,7 @@ func Run(ctx context.Context, base *core.Input, g *Grid, opts Options) (*Report,
 		if adv.outcome.HasResult {
 			rep.PruneEvaluated += adv.outcome.PruneEvaluated
 			rep.PruneSkipped += adv.outcome.PruneSkipped
+			rep.EvalPanics += adv.outcome.EvalPanics
 		}
 		for _, i := range groupOf[scens[ri].group] {
 			sr := ScenarioResult{Scenario: scens[i], Err: adv.err, Outcome: adv.outcome}
@@ -359,7 +364,13 @@ type scenarioJSON struct {
 	Scheme      string  `json:"allocScheme,omitempty"`
 	CapacityOK  bool    `json:"capacityOK"`
 	MeetsTarget bool    `json:"meetsTarget,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Partial labels a gracefully degraded advisory so partial numbers
+	// can never masquerade as complete ones. omitempty: complete-run
+	// reports are byte-identical to those written before the field
+	// existed (sync sweeps today never surface partial outcomes — Run
+	// fails on cancellation — so this is defensive labeling).
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // reportJSON is the machine-readable sweep report.
@@ -384,6 +395,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			pf := sr.Prefetch
 			row.Prefetch = &pf
 		}
+		row.Partial = sr.Outcome.Partial
 		if o := &sr.Outcome; o.HasWinner {
 			row.Winner = o.Winner
 			row.WinnerKey = o.WinnerKey

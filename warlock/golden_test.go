@@ -151,6 +151,58 @@ func TestGoldenPrunedVsUnpruned(t *testing.T) {
 	}
 }
 
+// TestGoldenAllowPartialByteIdentical guards the anytime-advisory
+// contract over the golden corpus: a run with AllowPartial set that is
+// never interrupted must be indistinguishable from a plain run — same
+// rendered report, same result surfaces, Partial false, nothing left
+// uncovered — at every parallelism level.
+func TestGoldenAllowPartialByteIdentical(t *testing.T) {
+	apb1 := func(t *testing.T) *warlock.Input {
+		t.Helper()
+		schema := warlock.APB1Schema(1_000_000)
+		mix, err := warlock.APB1Mix(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk := warlock.DefaultDisk(16)
+		disk.PrefetchPages = 8
+		disk.BitmapPrefetchPages = 8
+		return &warlock.Input{Schema: schema, Mix: mix, Disk: disk}
+	}
+	for _, tc := range []struct {
+		name  string
+		input func(*testing.T) *warlock.Input
+	}{
+		{"apb1", apb1},
+		{"skewed-retail", skewedRetailInput},
+	} {
+		for _, par := range []int{1, 4, 0 /* GOMAXPROCS */} {
+			plain := tc.input(t)
+			plain.Parallelism = par
+			anytime := tc.input(t)
+			anytime.Parallelism = par
+			anytime.AllowPartial = true
+
+			rp, err := warlock.New().Advise(context.Background(), plain)
+			if err != nil {
+				t.Fatalf("%s par=%d plain: %v", tc.name, par, err)
+			}
+			ra, err := warlock.New().Advise(context.Background(), anytime)
+			if err != nil {
+				t.Fatalf("%s par=%d anytime: %v", tc.name, par, err)
+			}
+			if ra.Partial || ra.Coverage.Remaining != 0 {
+				t.Fatalf("%s par=%d: uninterrupted anytime run partial=%v coverage=%+v",
+					tc.name, par, ra.Partial, ra.Coverage)
+			}
+			if warlock.Report(rp) != warlock.Report(ra) {
+				t.Fatalf("%s par=%d: rendered advisory differs with AllowPartial set", tc.name, par)
+			}
+			assertSameResult(t, tc.name, par, rp, ra)
+		}
+	}
+}
+
 // assertSameResult compares every deterministic surface of two advisories
 // field by field (PruneStats is diagnostic and deliberately excluded).
 func assertSameResult(t *testing.T, name string, par int, a, b *warlock.Result) {

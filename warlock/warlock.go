@@ -39,6 +39,33 @@
 // cancellation the pipeline drains cleanly and the context's error is
 // returned.
 //
+// # Robustness
+//
+// Three mechanisms keep one misbehaving candidate, deadline or disk from
+// taking an advisory (or the service) down:
+//
+//   - Anytime advisory: with Input.AllowPartial set, context
+//     cancellation degrades gracefully — the pipeline stops accepting
+//     work, keeps what the workers already priced, and returns a
+//     well-formed Result with Partial=true and a Coverage breakdown
+//     (Evaluated/Skipped/Remaining) instead of an error. A run that
+//     happens to finish every candidate anyway stays Partial=false and
+//     is bit-identical to a normal run; partial results themselves are
+//     timing-dependent by nature and excluded from every bit-identity
+//     and caching surface. ServerConfig.AllowPartial exposes the same
+//     semantics on /v1/advise ("partial": true in a 200 instead of 504).
+//   - Panic isolation: pipeline workers wrap each candidate's evaluation
+//     in a recover. A panicking candidate is dropped from the pool,
+//     recorded in Result.Faults (candidate key + redacted panic value),
+//     and counted on warlockd_eval_panics_total; the remaining
+//     candidates complete normally.
+//   - Fault injection: FaultRegistry arms named failpoints with
+//     deterministic schedules (every-Nth, after-K, bounded count) that
+//     return errors, panic, delay, or tear checkpoint writes — on the
+//     evaluation path (Input.Faults) and the service's job persistence
+//     path (ServerConfig.Faults). A nil registry, the production
+//     default, disarms everything; no build tags involved.
+//
 // # What-if sweeps
 //
 // Advisor.Sweep evaluates a declarative grid of what-if scenarios (disk
@@ -147,6 +174,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/fragment"
 	"repro/internal/rank"
 	"repro/internal/schema"
@@ -217,6 +245,19 @@ type (
 	// retained set are skipped without full evaluation. Pruning never
 	// changes results — Input.DisablePruning exists for A/B measurement.
 	PruneStats = core.PruneStats
+	// Coverage accounts for how much of the candidate space one advisory
+	// processed (Result.Coverage): Remaining is 0 exactly on complete
+	// runs, > 0 on partial ones (see Input.AllowPartial).
+	Coverage = core.Coverage
+	// Fault records one candidate whose evaluation panicked and was
+	// isolated by the pipeline (Result.Faults): the advisory completes
+	// without it instead of crashing.
+	Fault = core.Fault
+	// FaultRegistry is the fault-injection harness: named failpoints with
+	// deterministic schedules, armed via Input.Faults or
+	// ServerConfig.Faults. The nil registry — the production default —
+	// is fully disarmed at a single predictable-branch cost per failpoint.
+	FaultRegistry = faults.Registry
 	// MultiInput advises several fact tables sharing one disk pool.
 	MultiInput = core.MultiInput
 	// MultiResult is the combined multi-fact-table advisory.
